@@ -1,0 +1,30 @@
+//! Full pipeline (compile + verify + simulate) per kernel and headline
+//! configuration.
+
+use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use bsched_workloads::kernel_by_name;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for name in ["su2cor", "tomcatv", "spice2g6"] {
+        let p = kernel_by_name(name).expect("kernel exists").program();
+        for (label, opts) in [
+            ("BS", CompileOptions::new(SchedulerKind::Balanced)),
+            ("TS", CompileOptions::new(SchedulerKind::Traditional)),
+            (
+                "BS+LU4",
+                CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+            ),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, name), &p, |b, p| {
+                b.iter(|| compile_and_run(p, &opts).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Scheduling throughput: list-scheduler cost, balanced vs traditional,
+//! over region sizes.
+
+use bsched_core::{schedule_order, SchedulerKind, WeightConfig};
+use bsched_ir::{Inst, Op, Reg, RegClass, RegionId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn region(n_iters: u32) -> Vec<Inst> {
+    let r = |n| Reg::virt(RegClass::Int, n);
+    let f = |n| Reg::virt(RegClass::Float, n);
+    let mut insts = Vec::new();
+    for k in 0..n_iters {
+        insts.push(Inst::load(f(k * 3), r(k % 4), i64::from(k) * 8).with_region(RegionId::new(0)));
+        insts.push(Inst::op(Op::FMul, f(k * 3 + 1), &[f(k * 3), f(k * 3)]));
+        insts.push(Inst::op(Op::FAdd, f(k * 3 + 2), &[f(k * 3 + 1), f(k * 3)]));
+        insts.push(
+            Inst::store(f(k * 3 + 2), r(k % 4), i64::from(k) * 8 + 8192)
+                .with_region(RegionId::new(0)),
+        );
+    }
+    insts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_throughput");
+    for size in [8u32, 32, 128] {
+        let insts = region(size);
+        for kind in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), insts.len()),
+                &insts,
+                |b, insts| b.iter(|| schedule_order(insts, &WeightConfig::new(kind))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Raw timing-simulator throughput (simulated instructions per host
+//! second) on a compiled kernel.
+
+use bsched_pipeline::{compile, CompileOptions, SchedulerKind};
+use bsched_sim::{SimConfig, Simulator};
+use bsched_workloads::kernel_by_name;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let p = kernel_by_name("su2cor").expect("kernel exists").program();
+    let compiled = compile(&p, &CompileOptions::new(SchedulerKind::Balanced)).expect("compiles");
+    let sim0 = Simulator::new(&compiled.program, SimConfig::default())
+        .run()
+        .expect("runs");
+    let insts = sim0.metrics.insts.total();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("su2cor_balanced", |b| {
+        b.iter(|| {
+            Simulator::new(&compiled.program, SimConfig::default())
+                .run()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

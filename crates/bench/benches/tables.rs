@@ -1,0 +1,39 @@
+//! Regenerates the paper's headline comparison (the Table 8 "no
+//! optimizations" and "LU 4" rows) under Criterion timing, and prints the
+//! measured speedups so `cargo bench` reproduces the numbers end to end.
+
+use bsched_bench::Grid;
+use bsched_pipeline::table::mean;
+use bsched_pipeline::ConfigKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn headline() -> (f64, f64) {
+    let mut grid = Grid::new();
+    let mut base = Vec::new();
+    let mut lu4 = Vec::new();
+    for kernel in grid.kernel_names() {
+        let bs0 = grid.bs(&kernel, ConfigKind::Base);
+        let ts0 = grid.ts(&kernel, ConfigKind::Base);
+        base.push(bs0.speedup_over(&ts0));
+        let bs4 = grid.bs(&kernel, ConfigKind::Lu(4));
+        let ts4 = grid.ts(&kernel, ConfigKind::Lu(4));
+        lu4.push(bs4.speedup_over(&ts4));
+    }
+    (mean(&base), mean(&lu4))
+}
+
+fn bench(c: &mut Criterion) {
+    let (s0, s4) = headline();
+    println!("\nheadline BS:TS speedups — no optimizations: {s0:.2}, LU4: {s4:.2}");
+    println!("(paper: 1.05 and 1.12)\n");
+    assert!(s0 > 1.0, "balanced must beat traditional on average");
+    assert!(s4 >= s0 - 0.02, "unrolling must not shrink the advantage");
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table8_headline_grid", |b| b.iter(headline));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cost of the balanced load-weight computation (transitive closure +
+//! coverage components) as region size grows.
+
+use bsched_core::{compute_weights, SchedulerKind, WeightConfig};
+use bsched_ir::{Dag, Inst, Op, Reg, RegClass, RegionId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn region(n_loads: u32) -> Vec<Inst> {
+    let r = |n| Reg::virt(RegClass::Int, n);
+    let f = |n| Reg::virt(RegClass::Float, n);
+    let mut insts = Vec::new();
+    for k in 0..n_loads {
+        insts.push(Inst::load(f(k * 2), r(k % 8), i64::from(k) * 8).with_region(RegionId::new(0)));
+        insts.push(Inst::op(Op::FAdd, f(k * 2 + 1), &[f(k * 2), f(k * 2)]));
+    }
+    insts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weights");
+    for n in [8u32, 32, 96] {
+        let insts = region(n);
+        let dag = Dag::new(&insts);
+        for kind in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), insts.len()),
+                &insts,
+                |b, insts| b.iter(|| compute_weights(insts, &dag, &WeightConfig::new(kind))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

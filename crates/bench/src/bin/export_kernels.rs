@@ -1,0 +1,20 @@
+//! Exports every workload kernel in the textual DSL (one `.bsk` file per
+//! kernel), so the exact programs behind the tables can be read, edited
+//! and re-run through `examples/dsl_kernel.rs`.
+//!
+//! ```sh
+//! cargo run --release -p bsched-bench --bin export_kernels -- kernels/
+//! ```
+
+use bsched_workloads::all_kernels_sources;
+use bsched_workloads::lang::print_kernel;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "kernels".to_string());
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    for (name, kernel) in all_kernels_sources() {
+        let path = format!("{dir}/{name}.bsk");
+        std::fs::write(&path, print_kernel(&kernel)).expect("write kernel");
+        println!("wrote {path}");
+    }
+}

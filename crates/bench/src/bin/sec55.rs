@@ -1,0 +1,62 @@
+//! Regenerates the paper's §5.5 comparison: balanced scheduling's
+//! advantage under the Kerns–Eggers 1993 *simple* machine model (perfect
+//! I-cache, single-cycle non-load operations) versus the full 21164
+//! model. The paper estimates a 10% advantage under the simple model
+//! shrinking to 4% under the real one, because fixed multi-cycle
+//! latencies are work balanced scheduling does not (yet) hide.
+
+use bsched_pipeline::table::{mean, ratio};
+use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind, Table};
+use bsched_sim::SimConfig;
+use bsched_workloads::all_kernels;
+
+fn main() {
+    // The four Perfect Club programs the two studies share are unnamed in
+    // the paper; we use our Perfect Club kernels with substantial FP
+    // latencies, where the model difference matters most.
+    let names = ["ARC2D", "MDG", "QCD2", "TRFD"];
+    let mut t = Table::new(
+        "Section 5.5: simple (KE93) vs full (21164) machine model — BS:TS speedup",
+        &["Benchmark", "simple model", "full model"],
+    );
+    let mut simple_all = Vec::new();
+    let mut full_all = Vec::new();
+    for spec in all_kernels() {
+        if !names.contains(&spec.name) {
+            continue;
+        }
+        let program = spec.program();
+        let mut row = vec![spec.name.to_string()];
+        for (vals, sim) in [
+            (&mut simple_all, SimConfig::default().simple_model_1993()),
+            (&mut full_all, SimConfig::default()),
+        ] {
+            let bs = compile_and_run(
+                &program,
+                &CompileOptions::new(SchedulerKind::Balanced).with_sim(sim),
+            )
+            .expect("balanced pipeline");
+            let ts = compile_and_run(
+                &program,
+                &CompileOptions::new(SchedulerKind::Traditional).with_sim(sim),
+            )
+            .expect("traditional pipeline");
+            let s = bs.metrics.speedup_over(&ts.metrics);
+            vals.push(s);
+            row.push(ratio(s));
+        }
+        t.row(row);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        ratio(mean(&simple_all)),
+        ratio(mean(&full_all)),
+    ]);
+    println!("{t}");
+    println!(
+        "Paper §5.5: \"balanced scheduling had a 10% advantage over\n\
+         traditional scheduling with the simple model, but only 4% when\n\
+         modeling the 21164\" — the simple model hides the fixed-latency\n\
+         competition that dilutes balanced scheduling on real machines."
+    );
+}

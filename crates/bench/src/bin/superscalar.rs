@@ -1,0 +1,51 @@
+//! The paper's stated future work (§6): "we intend to examine its
+//! effects on wider-issue (superscalar) processors that require
+//! considerable instruction-level parallelism to perform well."
+//!
+//! This binary sweeps the in-order issue width (1 = the paper's machine,
+//! 2, 4) and reports the average BS:TS speedup per width.
+
+use bsched_pipeline::table::{mean, ratio};
+use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind, Table};
+use bsched_sim::SimConfig;
+use bsched_workloads::all_kernels;
+
+fn main() {
+    let widths = [1u32, 2, 4];
+    let mut t = Table::new(
+        "Future work (paper §6): BS:TS speedup vs in-order issue width (with LU4)",
+        &["Benchmark", "width 1", "width 2", "width 4"],
+    );
+    let mut avgs = vec![Vec::new(); widths.len()];
+    for spec in all_kernels() {
+        let program = spec.program();
+        let mut row = vec![spec.name.to_string()];
+        for (k, &w) in widths.iter().enumerate() {
+            let sim = SimConfig::default().with_issue_width(w);
+            let bs = compile_and_run(
+                &program,
+                &CompileOptions::new(SchedulerKind::Balanced)
+                    .with_unroll(4)
+                    .with_sim(sim),
+            )
+            .expect("balanced pipeline");
+            let ts = compile_and_run(
+                &program,
+                &CompileOptions::new(SchedulerKind::Traditional)
+                    .with_unroll(4)
+                    .with_sim(sim),
+            )
+            .expect("traditional pipeline");
+            let s = bs.metrics.speedup_over(&ts.metrics);
+            avgs[k].push(s);
+            row.push(ratio(s));
+        }
+        t.row(row);
+    }
+    let mut avg_row = vec!["AVERAGE".to_string()];
+    for a in &avgs {
+        avg_row.push(ratio(mean(a)));
+    }
+    t.row(avg_row);
+    println!("{t}");
+}

@@ -1,0 +1,96 @@
+//! `bsched-bench` — shared plumbing for the table/figure regeneration
+//! binaries and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bsched_ir::Program;
+use bsched_pipeline::{ConfigKind, ExperimentConfig, Runner, SchedulerKind};
+use bsched_sim::SimMetrics;
+use bsched_workloads::all_kernels;
+
+/// A memoizing grid runner over the 17-kernel workload.
+pub struct Grid {
+    programs: Vec<(String, Program)>,
+    runner: Runner,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Grid {
+    /// Lowers every kernel once.
+    #[must_use]
+    pub fn new() -> Self {
+        let programs = all_kernels()
+            .iter()
+            .map(|k| (k.name.to_string(), k.program()))
+            .collect();
+        Grid {
+            programs,
+            runner: Runner::new(),
+        }
+    }
+
+    /// The kernel names, in paper order.
+    #[must_use]
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.programs.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Runs (memoized) one kernel under one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails — the workload is expected to compile
+    /// under every configuration.
+    pub fn metrics(&mut self, kernel: &str, config: ExperimentConfig) -> SimMetrics {
+        let program = &self
+            .programs
+            .iter()
+            .find(|(n, _)| n == kernel)
+            .unwrap_or_else(|| panic!("unknown kernel {kernel}"))
+            .1;
+        self.runner
+            .run(kernel, program, config)
+            .unwrap_or_else(|e| panic!("{kernel} under {:?} failed: {e}", config.kind))
+            .metrics
+            .clone()
+    }
+
+    /// Convenience: balanced-scheduling metrics for a configuration kind.
+    pub fn bs(&mut self, kernel: &str, kind: ConfigKind) -> SimMetrics {
+        self.metrics(
+            kernel,
+            ExperimentConfig {
+                scheduler: SchedulerKind::Balanced,
+                kind,
+            },
+        )
+    }
+
+    /// Convenience: traditional-scheduling metrics for a configuration
+    /// kind.
+    pub fn ts(&mut self, kernel: &str, kind: ConfigKind) -> SimMetrics {
+        self.metrics(
+            kernel,
+            ExperimentConfig {
+                scheduler: SchedulerKind::Traditional,
+                kind,
+            },
+        )
+    }
+}
+
+/// Percentage decrease from `from` to `to` (positive = improvement).
+#[must_use]
+pub fn pct_decrease(from: u64, to: u64) -> f64 {
+    if from == 0 {
+        0.0
+    } else {
+        (from as f64 - to as f64) / from as f64
+    }
+}

@@ -1,0 +1,87 @@
+//! Scheduling priorities.
+//!
+//! "The priority of an instruction is simply the sum of the instruction's
+//! weight and the maximum priority of its successors" (paper §4.2) — the
+//! weighted critical-path distance to the end of the region.
+
+use bsched_ir::Dag;
+
+/// Computes the priority of every node given its weight.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != dag.len()`.
+#[must_use]
+pub fn compute_priorities(dag: &Dag, weights: &[u32]) -> Vec<u64> {
+    assert_eq!(weights.len(), dag.len());
+    let n = dag.len();
+    let mut prio = vec![0u64; n];
+    // Nodes are in program order and edges point forward, so a reverse
+    // sweep is a reverse-topological traversal.
+    for i in (0..n).rev() {
+        let best_succ = dag
+            .succs(i)
+            .iter()
+            .map(|&(t, _)| prio[t as usize])
+            .max()
+            .unwrap_or(0);
+        prio[i] = u64::from(weights[i]) + best_succ;
+    }
+    prio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{Inst, Op, Reg, RegClass};
+
+    fn r(n: u32) -> Reg {
+        Reg::virt(RegClass::Int, n)
+    }
+
+    #[test]
+    fn chain_priorities_accumulate() {
+        // li -> add -> add: priorities 3, 2, 1 with unit weights.
+        let insts = vec![
+            Inst::li(r(0), 1),
+            Inst::op_imm(Op::Add, r(1), r(0), 1),
+            Inst::op_imm(Op::Add, r(2), r(1), 1),
+        ];
+        let dag = Dag::new(&insts);
+        let w = vec![1, 1, 1];
+        let p = compute_priorities(&dag, &w);
+        assert_eq!(p, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn weight_raises_priority_of_whole_chain() {
+        let insts = vec![
+            Inst::load(r(1), r(0), 0),            // weight 10 (say)
+            Inst::op_imm(Op::Add, r(2), r(1), 1), // consumer
+            Inst::li(r(3), 7),                    // independent
+        ];
+        let dag = Dag::new(&insts);
+        let p = compute_priorities(&dag, &[10, 1, 1]);
+        assert_eq!(p[0], 11);
+        assert_eq!(p[1], 1);
+        assert_eq!(p[2], 1);
+    }
+
+    #[test]
+    fn diamond_takes_max_successor() {
+        // 0 feeds 1 and 2; 1 and 2 feed 3 (via two sources).
+        let insts = vec![
+            Inst::li(r(0), 1),
+            Inst::op_imm(Op::Mul, r(1), r(0), 3), // weight 8
+            Inst::op_imm(Op::Add, r(2), r(0), 1), // weight 1
+            Inst::op(Op::Add, r(3), &[r(1), r(2)]),
+        ];
+        let dag = Dag::new(&insts);
+        let w: Vec<u32> = insts.iter().map(|i| i.op.latency()).collect();
+        let p = compute_priorities(&dag, &w);
+        assert_eq!(p[3], 1);
+        assert_eq!(p[1], 9);
+        assert_eq!(p[2], 2);
+        assert_eq!(p[0], 10, "takes the multiply path");
+    }
+}

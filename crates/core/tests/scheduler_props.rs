@@ -1,0 +1,176 @@
+//! Property tests for the scheduler and the weight policies.
+
+use bsched_core::{compute_weights, schedule_region, SchedulerKind, WeightConfig};
+use bsched_ir::{opcode::latency, Dag, Inst, Op, Reg, RegClass, RegionId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GenInst {
+    Alu {
+        dst: u8,
+        a: u8,
+        imm: i8,
+    },
+    Fp {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Div {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Load {
+        dst: u8,
+        base: u8,
+        disp: u8,
+        region: u8,
+    },
+    Store {
+        val: u8,
+        base: u8,
+        disp: u8,
+        region: u8,
+    },
+}
+
+fn materialize(g: &[GenInst]) -> Vec<Inst> {
+    let r = |n: u8| Reg::virt(RegClass::Int, u32::from(n) % 6);
+    let f = |n: u8| Reg::virt(RegClass::Float, u32::from(n) % 6);
+    g.iter()
+        .map(|gi| match *gi {
+            GenInst::Alu { dst, a, imm } => Inst::op_imm(Op::Add, r(dst), r(a), i64::from(imm)),
+            GenInst::Fp { dst, a, b } => Inst::op(Op::FMul, f(dst), &[f(a), f(b)]),
+            GenInst::Div { dst, a, b } => Inst::op(Op::FDivD, f(dst), &[f(a), f(b)]),
+            GenInst::Load {
+                dst,
+                base,
+                disp,
+                region,
+            } => Inst::load(f(dst), r(base), i64::from(disp % 8) * 8)
+                .with_region(RegionId::new(usize::from(region % 2))),
+            GenInst::Store {
+                val,
+                base,
+                disp,
+                region,
+            } => Inst::store(f(val), r(base), i64::from(disp % 8) * 8)
+                .with_region(RegionId::new(usize::from(region % 2))),
+        })
+        .collect()
+}
+
+fn arb_inst() -> impl Strategy<Value = GenInst> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<i8>()).prop_map(|(dst, a, imm)| GenInst::Alu {
+            dst,
+            a,
+            imm
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(dst, a, b)| GenInst::Fp { dst, a, b }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(dst, a, b)| GenInst::Div { dst, a, b }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(dst, base, disp, region)| GenInst::Load {
+                dst,
+                base,
+                disp,
+                region
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(val, base, disp, region)| GenInst::Store {
+                val,
+                base,
+                disp,
+                region
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn schedules_are_valid_topological_permutations(
+        g in prop::collection::vec(arb_inst(), 1..40),
+        kind in prop_oneof![Just(SchedulerKind::Traditional), Just(SchedulerKind::Balanced)],
+    ) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        let weights = compute_weights(&insts, &dag, &WeightConfig::new(kind));
+        let order = schedule_region(&insts, &dag, &weights);
+
+        // Permutation.
+        prop_assert_eq!(order.len(), insts.len());
+        let mut seen = vec![false; insts.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Topological.
+        let mut pos = vec![0usize; insts.len()];
+        for (k, &i) in order.iter().enumerate() {
+            pos[i] = k;
+        }
+        for i in 0..insts.len() {
+            for &(t, _) in dag.succs(i) {
+                prop_assert!(pos[i] < pos[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_invariants(g in prop::collection::vec(arb_inst(), 1..40)) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        let trad = compute_weights(&insts, &dag, &WeightConfig::new(SchedulerKind::Traditional));
+        let bal = compute_weights(&insts, &dag, &WeightConfig::new(SchedulerKind::Balanced));
+        for (i, inst) in insts.iter().enumerate() {
+            // Traditional weights are exactly the architectural latencies.
+            prop_assert_eq!(trad[i], inst.op.latency());
+            if inst.op.is_load() {
+                // Balanced weights sit in [hit latency, cap].
+                prop_assert!(bal[i] >= latency::LOAD_HIT);
+                prop_assert!(bal[i] <= latency::MAX_LOAD);
+                prop_assert!(bal[i] >= trad[i]);
+            } else {
+                prop_assert_eq!(bal[i], trad[i], "non-loads keep fixed weights");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_is_deterministic(g in prop::collection::vec(arb_inst(), 1..32)) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        let w = compute_weights(&insts, &dag, &WeightConfig::default());
+        let o1 = schedule_region(&insts, &dag, &w);
+        let o2 = schedule_region(&insts, &dag, &w);
+        prop_assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn adding_an_independent_instruction_never_lowers_load_weights(
+        g in prop::collection::vec(arb_inst(), 1..24),
+    ) {
+        let mut insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        let before = compute_weights(&insts, &dag, &WeightConfig::new(SchedulerKind::Balanced));
+        // Append a fresh, totally independent FP op.
+        insts.push(Inst::op(
+            Op::FAdd,
+            Reg::virt(RegClass::Float, 60),
+            &[Reg::virt(RegClass::Float, 61), Reg::virt(RegClass::Float, 62)],
+        ));
+        let dag2 = Dag::new(&insts);
+        let after = compute_weights(&insts, &dag2, &WeightConfig::new(SchedulerKind::Balanced));
+        for i in 0..before.len() {
+            if insts[i].op.is_load() {
+                prop_assert!(after[i] >= before[i],
+                    "more parallelism cannot shrink load weight at {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Basic blocks and their terminators.
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Identifier of a basic block within its [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index overflow"))
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// The sense of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrCond {
+    /// Branch to `taken` when the condition register is non-zero.
+    NonZero,
+    /// Branch to `taken` when the condition register is zero.
+    Zero,
+}
+
+impl BrCond {
+    /// The opposite sense.
+    #[must_use]
+    pub fn invert(self) -> Self {
+        match self {
+            BrCond::NonZero => BrCond::Zero,
+            BrCond::Zero => BrCond::NonZero,
+        }
+    }
+
+    /// Evaluates the condition against a register value.
+    #[must_use]
+    pub fn holds(self, value: i64) -> bool {
+        match self {
+            BrCond::NonZero => value != 0,
+            BrCond::Zero => value == 0,
+        }
+    }
+}
+
+/// How a basic block transfers control.
+///
+/// Branches live here rather than in the instruction list; the scheduler
+/// keeps them as region boundaries and the simulator charges them the
+/// branch latency of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Two-way conditional branch on an integer register.
+    Br {
+        /// Condition register (integer).
+        cond: Reg,
+        /// Sense of the test.
+        when: BrCond,
+        /// Target when the test holds.
+        taken: BlockId,
+        /// Target when the test fails.
+        fall: BlockId,
+    },
+    /// Function return; ends program execution.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor block ids, in `(taken, fall)` order for branches.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jmp(t) => vec![*t],
+            Terminator::Br { taken, fall, .. } => vec![*taken, *fall],
+            Terminator::Ret => vec![],
+        }
+    }
+
+    /// The condition register, if conditional.
+    #[must_use]
+    pub fn cond_reg(&self) -> Option<Reg> {
+        match self {
+            Terminator::Br { cond, .. } => Some(*cond),
+            _ => None,
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jmp(t) => {
+                if *t == from {
+                    *t = to;
+                }
+            }
+            Terminator::Br { taken, fall, .. } => {
+                if *taken == from {
+                    *taken = to;
+                }
+                if *fall == from {
+                    *fall = to;
+                }
+            }
+            Terminator::Ret => {}
+        }
+    }
+}
+
+/// A basic block: a straight-line instruction list plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The instructions, in program order.
+    pub insts: Vec<Inst>,
+    /// The control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block ending in `term`.
+    #[must_use]
+    pub fn new(term: Terminator) -> Self {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+
+    /// Number of instructions (terminator excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the block holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Reg, RegClass};
+
+    #[test]
+    fn successors_and_retarget() {
+        let c = Reg::virt(RegClass::Int, 0);
+        let mut t = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: BlockId::new(1),
+            fall: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        t.retarget(BlockId::new(2), BlockId::new(5));
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(5)]);
+        assert_eq!(t.cond_reg(), Some(c));
+        assert_eq!(Terminator::Ret.successors(), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn brcond_semantics() {
+        assert!(BrCond::NonZero.holds(3));
+        assert!(!BrCond::NonZero.holds(0));
+        assert!(BrCond::Zero.holds(0));
+        assert_eq!(BrCond::NonZero.invert(), BrCond::Zero);
+    }
+}

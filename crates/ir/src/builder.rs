@@ -1,0 +1,276 @@
+//! Convenience builder for constructing functions in tests, examples and
+//! the frontend lowering.
+
+use crate::block::{Block, BlockId, BrCond, Terminator};
+use crate::func::Function;
+use crate::inst::{Inst, LocalityHint};
+use crate::opcode::Op;
+use crate::program::RegionId;
+use crate::reg::{Reg, RegClass};
+
+/// Builder for a [`Function`]: tracks a current block and allocates
+/// registers on demand.
+///
+/// # Example
+///
+/// ```
+/// use bsched_ir::{FuncBuilder, Op};
+///
+/// let mut b = FuncBuilder::new("f");
+/// let x = b.iconst(2);
+/// let y = b.iconst(3);
+/// let z = b.binop(Op::Add, x, y);
+/// let _ = z;
+/// b.ret();
+/// let func = b.finish();
+/// assert_eq!(func.inst_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts a function with an empty entry block.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let func = Function::new(name);
+        let cur = func.entry();
+        FuncBuilder { func, cur }
+    }
+
+    /// The block currently being appended to.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Direct access to the function under construction.
+    #[must_use]
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Mutable access to the function under construction (used by the
+    /// frontend to register loop metadata).
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self, class: RegClass) -> Reg {
+        self.func.new_reg(class)
+    }
+
+    /// Adds a new (empty, `Ret`-terminated) block without switching to it.
+    pub fn add_block(&mut self) -> BlockId {
+        self.func.add_block(Block::new(Terminator::Ret))
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.index() < self.func.blocks().len());
+        self.cur = block;
+    }
+
+    /// Appends an instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.func.block_mut(self.cur).insts.push(inst);
+    }
+
+    /// Emits `dst = imm` and returns `dst`.
+    pub fn iconst(&mut self, imm: i64) -> Reg {
+        let dst = self.new_reg(RegClass::Int);
+        self.push(Inst::li(dst, imm));
+        dst
+    }
+
+    /// Emits `dst = fimm` and returns `dst`.
+    pub fn fconst(&mut self, fimm: f64) -> Reg {
+        let dst = self.new_reg(RegClass::Float);
+        self.push(Inst::fli(dst, fimm));
+        dst
+    }
+
+    /// Emits a region base-address load.
+    pub fn load_region_addr(&mut self, region: RegionId) -> Reg {
+        let dst = self.new_reg(RegClass::Int);
+        self.push(Inst::ldaddr(dst, region));
+        dst
+    }
+
+    /// Emits a binary (or comparison) operation, allocating the
+    /// destination in the class the opcode dictates.
+    pub fn binop(&mut self, op: Op, a: Reg, b: Reg) -> Reg {
+        let class = op.fixed_dst_class().unwrap_or(a.class());
+        let dst = self.new_reg(class);
+        self.push(Inst::op(op, dst, &[a, b]));
+        dst
+    }
+
+    /// Emits a unary operation.
+    pub fn unop(&mut self, op: Op, a: Reg) -> Reg {
+        let class = op.fixed_dst_class().unwrap_or(a.class());
+        let dst = self.new_reg(class);
+        self.push(Inst::op(op, dst, &[a]));
+        dst
+    }
+
+    /// Emits a binary operation with an immediate second operand.
+    pub fn binop_imm(&mut self, op: Op, a: Reg, imm: i64) -> Reg {
+        let dst = self.new_reg(RegClass::Int);
+        self.push(Inst::op_imm(op, dst, a, imm));
+        dst
+    }
+
+    /// Emits a select `cond != 0 ? a : b`.
+    pub fn select(&mut self, cond: Reg, a: Reg, b: Reg) -> Reg {
+        let dst = self.new_reg(a.class());
+        self.push(Inst::select(dst, cond, a, b));
+        dst
+    }
+
+    /// Starts building a floating-point load.
+    pub fn load_f(&mut self, base: Reg, disp: i64) -> LoadBuilder {
+        let dst = self.new_reg(RegClass::Float);
+        LoadBuilder {
+            inst: Inst::load(dst, base, disp),
+            dst,
+        }
+    }
+
+    /// Starts building an integer load.
+    pub fn load_i(&mut self, base: Reg, disp: i64) -> LoadBuilder {
+        let dst = self.new_reg(RegClass::Int);
+        LoadBuilder {
+            inst: Inst::load(dst, base, disp),
+            dst,
+        }
+    }
+
+    /// Starts building a store.
+    pub fn store(&self, val: Reg, base: Reg, disp: i64) -> StoreBuilder {
+        StoreBuilder {
+            inst: Inst::store(val, base, disp),
+        }
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Jmp(target);
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: Reg, when: BrCond, taken: BlockId, fall: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Br {
+            cond,
+            when,
+            taken,
+            fall,
+        };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self) {
+        self.func.block_mut(self.cur).term = Terminator::Ret;
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// In-flight load created by [`FuncBuilder::load_f`]/[`FuncBuilder::load_i`].
+#[derive(Debug)]
+#[must_use = "call .emit(&mut builder) to append the load"]
+pub struct LoadBuilder {
+    inst: Inst,
+    dst: Reg,
+}
+
+impl LoadBuilder {
+    /// Attributes the load to a region.
+    pub fn with_region(mut self, region: RegionId) -> Self {
+        self.inst = self.inst.with_region(region);
+        self
+    }
+
+    /// Sets a locality hint.
+    pub fn hint(mut self, hint: LocalityHint) -> Self {
+        self.inst.hint = hint;
+        self
+    }
+
+    /// Appends the load and returns its destination register.
+    pub fn emit(self, b: &mut FuncBuilder) -> Reg {
+        b.push(self.inst);
+        self.dst
+    }
+}
+
+/// In-flight store created by [`FuncBuilder::store`].
+#[derive(Debug)]
+#[must_use = "call .emit(&mut builder) to append the store"]
+pub struct StoreBuilder {
+    inst: Inst,
+}
+
+impl StoreBuilder {
+    /// Attributes the store to a region.
+    pub fn with_region(mut self, region: RegionId) -> Self {
+        self.inst = self.inst.with_region(region);
+        self
+    }
+
+    /// Appends the store.
+    pub fn emit(self, b: &mut FuncBuilder) {
+        b.push(self.inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_diamond() {
+        let mut b = FuncBuilder::new("d");
+        let t = b.add_block();
+        let e = b.add_block();
+        let j = b.add_block();
+        let c = b.iconst(1);
+        b.br(c, BrCond::NonZero, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.blocks().len(), 4);
+        assert_eq!(f.block(t).term, Terminator::Jmp(j));
+    }
+
+    #[test]
+    fn load_store_builders() {
+        let mut p = crate::Program::new("t");
+        let r = p.add_region("a", 64);
+        let mut b = FuncBuilder::new("m");
+        let base = b.load_region_addr(r);
+        let x = b
+            .load_f(base, 0)
+            .with_region(r)
+            .hint(LocalityHint::Miss)
+            .emit(&mut b);
+        b.store(x, base, 8).with_region(r).emit(&mut b);
+        b.ret();
+        let f = b.finish();
+        let insts = &f.block(f.entry()).insts;
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[1].hint, LocalityHint::Miss);
+        assert_eq!(insts[2].mem.unwrap().region, Some(r));
+    }
+}

@@ -1,0 +1,163 @@
+//! Control-flow graph view of a function: predecessor/successor lists and
+//! reverse post-order.
+
+use crate::block::BlockId;
+use crate::func::Function;
+
+/// Predecessors, successors and a reverse post-order for a function's
+/// blocks. Snapshot semantics: rebuild after any CFG edit.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    #[must_use]
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+
+        // Iterative post-order DFS from the entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        visited[func.entry().index()] = true;
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b.index()].len() {
+                stack.push((b, i + 1));
+                let s = succs[b.index()][i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Successors of `b`.
+    #[must_use]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    #[must_use]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    #[must_use]
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, or `None` if unreachable.
+    #[must_use]
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// `true` if `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks in the underlying function.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BrCond, Terminator};
+    use crate::func::Function;
+    use crate::reg::RegClass;
+
+    /// entry -> {then, else} -> join -> ret, with an unreachable block.
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let join = f.add_block(Block::new(Terminator::Ret));
+        let then_b = f.add_block(Block::new(Terminator::Jmp(join)));
+        let else_b = f.add_block(Block::new(Terminator::Jmp(join)));
+        let _unreach = f.add_block(Block::new(Terminator::Ret));
+        let c = f.new_reg(RegClass::Int);
+        f.block_mut(f.entry()).term = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: then_b,
+            fall: else_b,
+        };
+        f
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(f.entry()).len(), 2);
+        assert_eq!(cfg.preds(BlockId::new(1)).len(), 2); // join
+        assert_eq!(cfg.preds(f.entry()).len(), 0);
+    }
+
+    #[test]
+    fn rpo_orders_entry_first_join_last() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(*rpo.last().unwrap(), BlockId::new(1));
+        assert_eq!(rpo.len(), 4); // unreachable block excluded
+        assert!(!cfg.is_reachable(BlockId::new(4)));
+        assert!(cfg.is_reachable(f.entry()));
+    }
+
+    #[test]
+    fn rpo_respects_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        // Every edge u->v that is not a back edge must have rpo(u) < rpo(v).
+        for b in cfg.rpo() {
+            for s in cfg.succs(*b) {
+                // no back edges in a diamond
+                assert!(cfg.rpo_index(*b).unwrap() < cfg.rpo_index(*s).unwrap());
+            }
+        }
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn cfg_is_send_sync() {
+        assert_send_sync::<Cfg>();
+    }
+}

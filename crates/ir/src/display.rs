@@ -1,0 +1,70 @@
+//! Pretty-printing for functions and programs.
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} (entry {}):", self.name(), self.entry())?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            match &block.term {
+                Terminator::Jmp(t) => writeln!(f, "    jmp {t}")?,
+                Terminator::Br {
+                    cond,
+                    when,
+                    taken,
+                    fall,
+                } => {
+                    let sense = match when {
+                        crate::block::BrCond::NonZero => "nz",
+                        crate::block::BrCond::Zero => "z",
+                    };
+                    writeln!(f, "    br.{sense} {cond} -> {taken}, else {fall}")?;
+                }
+                Terminator::Ret => writeln!(f, "    ret")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}:", self.name())?;
+        for (i, r) in self.regions().iter().enumerate() {
+            writeln!(f, "  region{} {} [{} bytes]", i, r.name(), r.size())?;
+        }
+        write!(f, "{}", self.main())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FuncBuilder;
+    use crate::opcode::Op;
+    use crate::program::Program;
+
+    #[test]
+    fn printer_produces_readable_text() {
+        let mut p = Program::new("demo");
+        let r = p.add_region("a", 32);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let x = b.load_f(base, 0).with_region(r).emit(&mut b);
+        let y = b.binop(Op::FMul, x, x);
+        b.store(y, base, 8).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        let text = p.to_string();
+        assert!(text.contains("program demo"));
+        assert!(text.contains("region0 a [32 bytes]"));
+        assert!(text.contains("fmul"));
+        assert!(text.contains("ret"));
+    }
+}

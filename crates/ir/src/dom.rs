@@ -1,0 +1,148 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::func::Function;
+
+/// Immediate-dominator tree over a function's reachable blocks.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b] = immediate dominator`; the entry points at itself;
+    /// unreachable blocks hold `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `func` given its `cfg`.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.blocks().len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = func.entry();
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up by RPO index until the fingers meet.
+            while a != b {
+                while cfg.rpo_index(a).unwrap() > cfg.rpo_index(b).unwrap() {
+                    a = idom[a.index()].unwrap();
+                }
+                while cfg.rpo_index(b).unwrap() > cfg.rpo_index(a).unwrap() {
+                    b = idom[b.index()].unwrap();
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()]
+    }
+
+    /// `true` if `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BrCond, Terminator};
+    use crate::func::Function;
+    use crate::reg::RegClass;
+
+    /// entry(0) -> then(2) -> join(1); entry -> else(3) -> join; join -> loopback? none.
+    fn diamond() -> (Function, Cfg) {
+        let mut f = Function::new("d");
+        let join = f.add_block(Block::new(Terminator::Ret));
+        let then_b = f.add_block(Block::new(Terminator::Jmp(join)));
+        let else_b = f.add_block(Block::new(Terminator::Jmp(join)));
+        let c = f.new_reg(RegClass::Int);
+        f.block_mut(f.entry()).term = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: then_b,
+            fall: else_b,
+        };
+        let cfg = Cfg::new(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, cfg) = diamond();
+        let dom = Dominators::new(&f, &cfg);
+        let entry = f.entry();
+        let join = BlockId::new(1);
+        let then_b = BlockId::new(2);
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(then_b), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(dom.dominates(join, join));
+        assert!(!dom.dominates(then_b, join));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry(0) -> header(1); header -> body(2) | exit(3); body -> header.
+        let mut f = Function::new("l");
+        let header = f.add_block(Block::new(Terminator::Ret));
+        let body = f.add_block(Block::new(Terminator::Jmp(header)));
+        let exit = f.add_block(Block::new(Terminator::Ret));
+        let c = f.new_reg(RegClass::Int);
+        f.block_mut(f.entry()).term = Terminator::Jmp(header);
+        f.block_mut(header).term = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: body,
+            fall: exit,
+        };
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        assert_eq!(dom.idom(header), Some(f.entry()));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, exit));
+    }
+}

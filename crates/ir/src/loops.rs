@@ -1,0 +1,215 @@
+//! Natural-loop discovery from back edges.
+//!
+//! Used to validate the frontend's [`crate::CountedLoop`] metadata and by
+//! trace scheduling, which must not grow traces across loop back edges
+//! (paper §5.2).
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+
+/// A natural loop: a back edge `latch -> header` plus the set of blocks
+/// that reach the latch without passing through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge, dominates all members).
+    pub header: BlockId,
+    /// The source of the back edge.
+    pub latch: BlockId,
+    /// All member blocks, including header and latch.
+    pub blocks: Vec<BlockId>,
+    /// Index of the innermost enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+}
+
+impl NaturalLoop {
+    /// `true` if `b` belongs to the loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function plus a per-block innermost-loop map.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// For each block, the index of its innermost loop (or `None`).
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Finds every natural loop of the CFG.
+    ///
+    /// Loops sharing a header are merged (as in classic loop analysis).
+    #[must_use]
+    pub fn new(cfg: &Cfg, dom: &Dominators) -> Self {
+        let n = cfg.num_blocks();
+        // Find back edges: b -> h with h dominating b.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for bi in 0..n {
+            let b = BlockId::new(bi);
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            // Collect the natural loop body by walking predecessors from
+            // each latch, stopping at the header.
+            let mut members = vec![header];
+            let mut stack = Vec::new();
+            for &l in &latches {
+                if !members.contains(&l) {
+                    members.push(l);
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if !members.contains(&p) {
+                        members.push(p);
+                        stack.push(p);
+                    }
+                }
+            }
+            members.sort_by_key(|b| b.index());
+            loops.push(NaturalLoop {
+                header,
+                latch: latches[0],
+                blocks: members,
+                parent: None,
+            });
+        }
+
+        // Sort by size descending so parents precede children, then assign
+        // parents: the smallest enclosing loop.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        let snapshot: Vec<(BlockId, Vec<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
+        #[allow(clippy::needless_range_loop)] // parallel read of `snapshot`
+        for i in 0..loops.len() {
+            let header = loops[i].header;
+            let mut best: Option<(usize, usize)> = None; // (index, size)
+            for (j, (h, blocks)) in snapshot.iter().enumerate() {
+                if j != i && *h != header && blocks.contains(&header) {
+                    let sz = blocks.len();
+                    if best.is_none_or(|(_, bs)| sz < bs) {
+                        best = Some((j, sz));
+                    }
+                }
+            }
+            loops[i].parent = best.map(|(j, _)| j);
+        }
+
+        let mut innermost = vec![None; n];
+        // Iterate loops from largest to smallest so smaller (inner) loops
+        // overwrite their enclosing loops' claims.
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                innermost[b.index()] = Some(i);
+            }
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// The discovered loops (outer loops first).
+    #[must_use]
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Index of the innermost loop containing `b`, if any.
+    #[must_use]
+    pub fn innermost(&self, b: BlockId) -> Option<usize> {
+        self.innermost[b.index()]
+    }
+
+    /// `true` if the edge `from -> to` is a loop back edge.
+    #[must_use]
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.header == to && l.contains(from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BrCond, Terminator};
+    use crate::func::Function;
+    use crate::reg::RegClass;
+
+    /// Two-deep nest:
+    /// entry -> oh; oh -> ih | oexit; ih -> ibody | olatch; ibody -> ih;
+    /// olatch -> oh.
+    fn nest() -> (Function, Cfg, Dominators) {
+        let mut f = Function::new("n");
+        let oh = f.add_block(Block::new(Terminator::Ret));
+        let ih = f.add_block(Block::new(Terminator::Ret));
+        let ibody = f.add_block(Block::new(Terminator::Jmp(ih)));
+        let olatch = f.add_block(Block::new(Terminator::Jmp(oh)));
+        let oexit = f.add_block(Block::new(Terminator::Ret));
+        let c = f.new_reg(RegClass::Int);
+        f.block_mut(f.entry()).term = Terminator::Jmp(oh);
+        f.block_mut(oh).term = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: ih,
+            fall: oexit,
+        };
+        f.block_mut(ih).term = Terminator::Br {
+            cond: c,
+            when: BrCond::NonZero,
+            taken: ibody,
+            fall: olatch,
+        };
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        (f, cfg, dom)
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let (_f, cfg, dom) = nest();
+        let forest = LoopForest::new(&cfg, &dom);
+        assert_eq!(forest.loops().len(), 2);
+        let outer = &forest.loops()[0];
+        let inner = &forest.loops()[1];
+        assert!(outer.blocks.len() > inner.blocks.len());
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.header, BlockId::new(2));
+        assert!(outer.contains(inner.header));
+    }
+
+    #[test]
+    fn innermost_map_prefers_inner_loop() {
+        let (_f, cfg, dom) = nest();
+        let forest = LoopForest::new(&cfg, &dom);
+        let ibody = BlockId::new(3);
+        let olatch = BlockId::new(4);
+        assert_eq!(forest.innermost(ibody), Some(1));
+        assert_eq!(forest.innermost(olatch), Some(0));
+        assert_eq!(forest.innermost(BlockId::new(5)), None); // oexit
+    }
+
+    #[test]
+    fn back_edge_detection() {
+        let (_f, cfg, dom) = nest();
+        let forest = LoopForest::new(&cfg, &dom);
+        assert!(forest.is_back_edge(BlockId::new(3), BlockId::new(2))); // ibody -> ih
+        assert!(forest.is_back_edge(BlockId::new(4), BlockId::new(1))); // olatch -> oh
+        assert!(!forest.is_back_edge(BlockId::new(1), BlockId::new(2)));
+    }
+}

@@ -1,0 +1,316 @@
+//! Instruction opcodes and their architectural latencies.
+//!
+//! The opcode set is the Alpha-like subset used by the paper's workload:
+//! single-cycle integer ALU operations, an 8-cycle integer multiply,
+//! 2-cycle (L1-hit) loads, single-cycle stores, 4-cycle pipelined
+//! floating-point operations, and 17/30-cycle floating-point divides
+//! (paper Table 3). Branches live in block terminators, not in the
+//! instruction list (see [`crate::Terminator`]).
+
+use crate::reg::RegClass;
+use std::fmt;
+
+/// Latencies from Table 3 of the paper.
+pub mod latency {
+    /// Single-cycle integer operation.
+    pub const INT_OP: u32 = 1;
+    /// Integer multiply.
+    pub const INT_MUL: u32 = 8;
+    /// Load that hits in the first-level cache — the *optimistic* estimate a
+    /// traditional scheduler uses for every load.
+    pub const LOAD_HIT: u32 = 2;
+    /// Store.
+    pub const STORE: u32 = 1;
+    /// Pipelined floating-point operation (excluding divide).
+    pub const FP_OP: u32 = 4;
+    /// Floating-point divide, 23-bit fraction (single precision).
+    pub const FP_DIV_SINGLE: u32 = 17;
+    /// Floating-point divide, 53-bit fraction (double precision).
+    pub const FP_DIV_DOUBLE: u32 = 30;
+    /// Branch resolution latency.
+    pub const BRANCH: u32 = 2;
+    /// The maximum possible load latency (a main-memory access); balanced
+    /// load weights are capped here (paper §4.2, footnote 1).
+    pub const MAX_LOAD: u32 = 50;
+}
+
+/// Broad instruction classes used for dynamic instruction accounting
+/// (paper §4.3: long/short integer, long/short floating point, loads,
+/// stores, branches, spills/restores are counted separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation ("short integer").
+    IntAlu,
+    /// Integer multiply ("long integer").
+    IntMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Pipelined floating-point operation ("short floating point").
+    FpOp,
+    /// Floating-point divide ("long floating point").
+    FpDiv,
+}
+
+/// An instruction opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    // --- integer, 1 cycle ---
+    /// Integer add: `dst = a + b` (wrapping).
+    Add,
+    /// Integer subtract: `dst = a - b` (wrapping).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left by the (immediate or register) amount, mod 64.
+    Shl,
+    /// Arithmetic shift right by the amount, mod 64.
+    Shr,
+    /// Integer compare equal: `dst = (a == b) as i64`.
+    CmpEq,
+    /// Integer signed compare less-than.
+    CmpLt,
+    /// Integer signed compare less-or-equal.
+    CmpLe,
+    /// Integer select: `dst = if cond != 0 { a } else { b }`.
+    ///
+    /// This models Alpha predication via `CMOV`; we fold the move/cmov pair
+    /// into one 3-source select so that predicated code stays in
+    /// single-assignment shape for renaming (see DESIGN.md).
+    Cmov,
+    /// Register copy (integer).
+    Mov,
+    /// Load integer immediate (`lda`-style): `dst = imm`.
+    Li,
+    /// Materialise the base address of a program region: `dst = &region`.
+    /// The region is carried in the instruction's memory-access slot.
+    LdAddr,
+
+    // --- integer, 8 cycles ---
+    /// Integer multiply.
+    Mul,
+
+    // --- memory ---
+    /// Load 64 bits: `dst = mem[base + disp]`. Destination class selects an
+    /// integer or floating-point load.
+    Ld,
+    /// Store 64 bits: `mem[base + disp] = val`.
+    St,
+
+    // --- floating point, 4 cycles ---
+    /// Floating-point add.
+    FAdd,
+    /// Floating-point subtract.
+    FSub,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point compare equal, writing 0/1 to an integer register.
+    FCmpEq,
+    /// Floating-point compare less-than, writing 0/1 to an integer register.
+    FCmpLt,
+    /// Floating-point compare less-or-equal, writing 0/1 to an integer register.
+    FCmpLe,
+    /// Floating-point select: `dst = if cond != 0 { a } else { b }`
+    /// (cond is an integer register).
+    FCmov,
+    /// Register copy (floating point).
+    FMov,
+    /// Load floating-point immediate: `dst = fimm`.
+    FLi,
+    /// Convert integer to floating point.
+    CvtIF,
+    /// Convert floating point to integer (truncating).
+    CvtFI,
+    /// Floating-point negate.
+    FNeg,
+    /// Floating-point square root approximation (modeled with divide-single
+    /// latency; stands in for the long pipelined operations in the numeric
+    /// kernels).
+    FSqrt,
+
+    // --- floating point divides ---
+    /// Floating-point divide, single precision (17 cycles).
+    FDivS,
+    /// Floating-point divide, double precision (30 cycles).
+    FDivD,
+}
+
+impl Op {
+    /// The fixed architectural latency in cycles (loads report the
+    /// optimistic L1-hit latency; the simulator substitutes the dynamic
+    /// memory-hierarchy latency at run time).
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        use latency::*;
+        match self.class() {
+            OpClass::IntAlu => INT_OP,
+            OpClass::IntMul => INT_MUL,
+            OpClass::Load => LOAD_HIT,
+            OpClass::Store => STORE,
+            OpClass::FpOp => FP_OP,
+            OpClass::FpDiv => match self {
+                Op::FDivS | Op::FSqrt => FP_DIV_SINGLE,
+                _ => FP_DIV_DOUBLE,
+            },
+        }
+    }
+
+    /// The accounting class of the opcode.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Shl | Shr | CmpEq | CmpLt | CmpLe | Cmov | Mov | Li
+            | LdAddr => OpClass::IntAlu,
+            Mul => OpClass::IntMul,
+            Ld => OpClass::Load,
+            St => OpClass::Store,
+            FAdd | FSub | FMul | FCmpEq | FCmpLt | FCmpLe | FCmov | FMov | FLi | CvtIF | CvtFI
+            | FNeg => OpClass::FpOp,
+            FSqrt | FDivS | FDivD => OpClass::FpDiv,
+        }
+    }
+
+    /// `true` for opcodes that read or write memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for loads.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self == Op::Ld
+    }
+
+    /// `true` for stores.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self == Op::St
+    }
+
+    /// The register class of the destination, if the opcode defines one.
+    ///
+    /// [`Op::Ld`], [`Op::Mov`]-style copies and selects take their class
+    /// from the destination register itself and return `None` here.
+    #[must_use]
+    pub fn fixed_dst_class(self) -> Option<RegClass> {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Shl | Shr | CmpEq | CmpLt | CmpLe | Mov | Li | LdAddr
+            | Mul | FCmpEq | FCmpLt | FCmpLe | CvtFI | Cmov => Some(RegClass::Int),
+            FAdd | FSub | FMul | FCmov | FMov | FLi | CvtIF | FNeg | FSqrt | FDivS | FDivD => {
+                Some(RegClass::Float)
+            }
+            Ld => None,
+            St => None,
+        }
+    }
+
+    /// The number of register sources the opcode takes when no immediate is
+    /// used (the second integer source of binary ALU ops may be replaced by
+    /// an immediate; see [`crate::Inst`]).
+    #[must_use]
+    pub fn num_srcs(self) -> usize {
+        use Op::*;
+        match self {
+            Li | FLi | LdAddr => 0,
+            Mov | FMov | CvtIF | CvtFI | FNeg | FSqrt | Ld => 1,
+            Add | Sub | And | Or | Xor | Shl | Shr | CmpEq | CmpLt | CmpLe | Mul | FAdd | FSub
+            | FMul | FCmpEq | FCmpLt | FCmpLe | FDivS | FDivD | St => 2,
+            Cmov | FCmov => 3,
+        }
+    }
+
+    /// Short mnemonic used by the printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            CmpEq => "cmpeq",
+            CmpLt => "cmplt",
+            CmpLe => "cmple",
+            Cmov => "cmov",
+            Mov => "mov",
+            Li => "li",
+            LdAddr => "ldaddr",
+            Mul => "mul",
+            Ld => "ld",
+            St => "st",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FCmpEq => "fcmpeq",
+            FCmpLt => "fcmplt",
+            FCmpLe => "fcmple",
+            FCmov => "fcmov",
+            FMov => "fmov",
+            FLi => "fli",
+            CvtIF => "cvtif",
+            CvtFI => "cvtfi",
+            FNeg => "fneg",
+            FSqrt => "fsqrt",
+            FDivS => "fdivs",
+            FDivD => "fdivd",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table3() {
+        assert_eq!(Op::Add.latency(), 1);
+        assert_eq!(Op::Mul.latency(), 8);
+        assert_eq!(Op::Ld.latency(), 2);
+        assert_eq!(Op::St.latency(), 1);
+        assert_eq!(Op::FAdd.latency(), 4);
+        assert_eq!(Op::FDivS.latency(), 17);
+        assert_eq!(Op::FDivD.latency(), 30);
+    }
+
+    #[test]
+    fn classes_are_consistent() {
+        assert!(Op::Ld.is_load());
+        assert!(Op::St.is_store());
+        assert!(Op::Ld.is_memory() && Op::St.is_memory());
+        assert!(!Op::FAdd.is_memory());
+        assert_eq!(Op::Mul.class(), OpClass::IntMul);
+        assert_eq!(Op::FDivD.class(), OpClass::FpDiv);
+    }
+
+    #[test]
+    fn fp_compares_write_int() {
+        assert_eq!(Op::FCmpLt.fixed_dst_class(), Some(RegClass::Int));
+        assert_eq!(Op::FAdd.fixed_dst_class(), Some(RegClass::Float));
+        assert_eq!(Op::Ld.fixed_dst_class(), None);
+    }
+
+    #[test]
+    fn src_counts() {
+        assert_eq!(Op::Li.num_srcs(), 0);
+        assert_eq!(Op::Ld.num_srcs(), 1);
+        assert_eq!(Op::St.num_srcs(), 2);
+        assert_eq!(Op::Cmov.num_srcs(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the code DAG: the bitset transitive closure must
+//! agree with brute-force graph search, and the dependence construction
+//! must respect program-order semantics.
+
+use bsched_ir::{Dag, Inst, Op, Reg, RegClass, RegionId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GenInst {
+    Li {
+        dst: u8,
+        imm: i8,
+    },
+    Add {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    FAdd {
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Load {
+        dst: u8,
+        base: u8,
+        disp: u8,
+        region: u8,
+    },
+    Store {
+        val: u8,
+        base: u8,
+        disp: u8,
+        region: u8,
+    },
+}
+
+fn materialize(g: &[GenInst]) -> Vec<Inst> {
+    let r = |n: u8| Reg::virt(RegClass::Int, u32::from(n) % 8);
+    let f = |n: u8| Reg::virt(RegClass::Float, u32::from(n) % 8);
+    g.iter()
+        .map(|gi| match *gi {
+            GenInst::Li { dst, imm } => Inst::li(r(dst), i64::from(imm)),
+            GenInst::Add { dst, a, b } => Inst::op(Op::Add, r(dst), &[r(a), r(b)]),
+            GenInst::FAdd { dst, a, b } => Inst::op(Op::FAdd, f(dst), &[f(a), f(b)]),
+            GenInst::Load {
+                dst,
+                base,
+                disp,
+                region,
+            } => Inst::load(f(dst), r(base), i64::from(disp % 4) * 8)
+                .with_region(RegionId::new(usize::from(region % 3))),
+            GenInst::Store {
+                val,
+                base,
+                disp,
+                region,
+            } => Inst::store(f(val), r(base), i64::from(disp % 4) * 8)
+                .with_region(RegionId::new(usize::from(region % 3))),
+        })
+        .collect()
+}
+
+fn arb_inst() -> impl Strategy<Value = GenInst> {
+    prop_oneof![
+        (any::<u8>(), any::<i8>()).prop_map(|(dst, imm)| GenInst::Li { dst, imm }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(dst, a, b)| GenInst::Add { dst, a, b }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(dst, a, b)| GenInst::FAdd { dst, a, b }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(dst, base, disp, region)| GenInst::Load {
+                dst,
+                base,
+                disp,
+                region
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(val, base, disp, region)| GenInst::Store {
+                val,
+                base,
+                disp,
+                region
+            }
+        ),
+    ]
+}
+
+/// Brute-force reachability over direct edges.
+fn reach_bruteforce(dag: &Dag, from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![false; dag.len()];
+    while let Some(x) = stack.pop() {
+        for &(t, _) in dag.succs(x) {
+            let t = t as usize;
+            if t == to {
+                return true;
+            }
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closure_matches_bruteforce(g in prop::collection::vec(arb_inst(), 1..24)) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        for a in 0..dag.len() {
+            for b in 0..dag.len() {
+                prop_assert_eq!(dag.reaches(a, b), reach_bruteforce(&dag, a, b),
+                    "reachability {} -> {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn independence_is_symmetric_and_irreflexive(g in prop::collection::vec(arb_inst(), 1..20)) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        for a in 0..dag.len() {
+            prop_assert!(!dag.independent(a, a));
+            for b in 0..dag.len() {
+                prop_assert_eq!(dag.independent(a, b), dag.independent(b, a));
+                if a != b {
+                    prop_assert_ne!(dag.independent(a, b), dag.comparable(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_point_forward_and_cover_reg_deps(g in prop::collection::vec(arb_inst(), 1..20)) {
+        let insts = materialize(&g);
+        let dag = Dag::new(&insts);
+        for i in 0..dag.len() {
+            for &(t, _) in dag.succs(i) {
+                prop_assert!((t as usize) > i, "edge must go forward");
+            }
+        }
+        // Every consumer is reachable from its most recent producer.
+        for (i, inst) in insts.iter().enumerate() {
+            for &s in inst.srcs() {
+                if let Some(p) = insts[..i].iter().rposition(|x| x.dst == Some(s)) {
+                    prop_assert!(dag.reaches(p, i), "RAW {} -> {} missing", p, i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The full memory hierarchy: L1D (lockup-free) → L2 → L3 → memory, plus
+//! I-cache and TLBs.
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+use crate::stats::MemStats;
+use crate::tlb::Tlb;
+
+/// Which level satisfied an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// First-level cache hit.
+    L1,
+    /// Second-level cache hit.
+    L2,
+    /// Board-cache hit.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+impl Level {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::L3 => "L3",
+            Level::Memory => "mem",
+        }
+    }
+}
+
+/// Timing answer for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle the access could actually begin (`> now` only when the
+    /// lockup-free cache ran out of MSHRs and the pipeline had to stall).
+    pub issue_at: u64,
+    /// Cycle the result is available to consumers.
+    pub ready_at: u64,
+    /// Level that served the data.
+    pub level: Level,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MshrEntry {
+    line: u64,
+    fill_at: u64,
+    level: Level,
+}
+
+/// The memory hierarchy state machine.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: MemConfig,
+    l1d: Cache,
+    icache: Cache,
+    l2: Cache,
+    l3: Option<Cache>,
+    dtb: Tlb,
+    itb: Tlb,
+    mshrs: Vec<MshrEntry>,
+    /// Drain-completion times of buffered stores (finite write buffer).
+    write_buffer: Vec<u64>,
+    stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Builds a cold hierarchy.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        Hierarchy {
+            l1d: Cache::new(config.l1d),
+            icache: Cache::new(config.icache),
+            l2: Cache::new(config.l2),
+            l3: config.l3.map(Cache::new),
+            dtb: Tlb::new(config.dtb_entries, config.page_size),
+            itb: Tlb::new(config.itb_entries, config.page_size),
+            mshrs: Vec::with_capacity(config.mshrs),
+            write_buffer: Vec::new(),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Statistics gathered so far.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Walks the lower levels (L2 → L3 → memory) for a line fill and
+    /// returns the total load-use latency.
+    fn lower_levels(&mut self, addr: u64) -> (u32, Level) {
+        if self.l2.access(addr) {
+            return (self.config.l2.latency, Level::L2);
+        }
+        if let Some(l3) = &mut self.l3 {
+            if l3.access(addr) {
+                return (
+                    self.config.l3.expect("l3 cache has config").latency,
+                    Level::L3,
+                );
+            }
+        }
+        (self.config.mem_latency, Level::Memory)
+    }
+
+    /// A data read of the 8 bytes at `addr`, issued at cycle `now`.
+    pub fn data_read(&mut self, addr: u64, now: u64) -> Access {
+        let mut issue_at = now;
+        if !self.dtb.access(addr) {
+            self.stats.dtb_misses += 1;
+            issue_at += u64::from(self.config.tlb_miss_penalty);
+        }
+        let line = addr / self.config.l1d.line;
+        self.mshrs.retain(|e| e.fill_at > issue_at);
+        // A line whose fill is still in flight counts as an MSHR merge:
+        // the L1 tag matches (it was allocated at miss time) but the data
+        // arrives only at fill time.
+        if let Some(e) = self.mshrs.iter().find(|e| e.line == line) {
+            self.stats.mshr_merges += 1;
+            self.l1d.access(addr); // touch for LRU
+            let ready_at = e.fill_at.max(issue_at + u64::from(self.config.l1d.latency));
+            return Access {
+                issue_at,
+                ready_at,
+                level: e.level,
+            };
+        }
+        if self.l1d.access(addr) {
+            self.stats.record_read(Level::L1);
+            return Access {
+                issue_at,
+                ready_at: issue_at + u64::from(self.config.l1d.latency),
+                level: Level::L1,
+            };
+        }
+        // L1 miss: lockup-free path through the miss-address file.
+        if self.mshrs.len() >= self.config.mshrs {
+            // Structural stall: wait for the earliest fill.
+            let free_at = self
+                .mshrs
+                .iter()
+                .map(|e| e.fill_at)
+                .min()
+                .expect("mshrs non-empty");
+            self.stats.mshr_stall_cycles += free_at - issue_at;
+            issue_at = free_at;
+            self.mshrs.retain(|e| e.fill_at > issue_at);
+        }
+        let (latency, level) = self.lower_levels(addr);
+        self.stats.record_read(level);
+        let ready_at = issue_at + u64::from(latency);
+        self.mshrs.push(MshrEntry {
+            line,
+            fill_at: ready_at,
+            level,
+        });
+        Access {
+            issue_at,
+            ready_at,
+            level,
+        }
+    }
+
+    /// A data write of the 8 bytes at `addr` (write-through,
+    /// no-write-allocate; stores never stall the pipeline — the 21164's
+    /// write buffer absorbs them).
+    pub fn data_write(&mut self, addr: u64, now: u64) -> Access {
+        self.stats.stores += 1;
+        let mut issue_at = now;
+        if !self.dtb.access(addr) {
+            self.stats.dtb_misses += 1;
+            issue_at += u64::from(self.config.tlb_miss_penalty);
+        }
+        // Finite write buffer: a full buffer stalls the store until the
+        // oldest entry drains.
+        if let Some(capacity) = self.config.write_buffer {
+            self.write_buffer.retain(|&d| d > issue_at);
+            if self.write_buffer.len() >= capacity as usize {
+                let free_at = *self
+                    .write_buffer
+                    .iter()
+                    .min()
+                    .expect("write buffer non-empty");
+                self.stats.wb_stall_cycles += free_at - issue_at;
+                issue_at = free_at;
+                self.write_buffer.retain(|&d| d > issue_at);
+            }
+            // The write-through channel drains one store at a time.
+            let start = self.write_buffer.iter().max().copied().unwrap_or(issue_at);
+            self.write_buffer
+                .push(start.max(issue_at) + u64::from(self.config.write_drain_cycles));
+        }
+        let hit = self.l1d.probe_update(addr);
+        self.l2.probe_update(addr);
+        if let Some(l3) = &mut self.l3 {
+            l3.probe_update(addr);
+        }
+        let level = if hit { Level::L1 } else { Level::Memory };
+        Access {
+            issue_at,
+            ready_at: issue_at + 1,
+            level,
+        }
+    }
+
+    /// An instruction fetch at code address `addr` (blocking).
+    pub fn inst_fetch(&mut self, addr: u64, now: u64) -> Access {
+        let mut issue_at = now;
+        if !self.itb.access(addr) {
+            self.stats.itb_misses += 1;
+            issue_at += u64::from(self.config.tlb_miss_penalty);
+        }
+        if self.icache.access(addr) {
+            // Fetch overlaps the pipeline; a hit costs nothing extra.
+            return Access {
+                issue_at,
+                ready_at: issue_at,
+                level: Level::L1,
+            };
+        }
+        self.stats.icache_misses += 1;
+        let (latency, level) = self.lower_levels(addr);
+        Access {
+            issue_at,
+            ready_at: issue_at + u64::from(latency),
+            level,
+        }
+    }
+
+    /// Number of MSHR entries outstanding at cycle `now`.
+    #[must_use]
+    pub fn outstanding_misses(&self, now: u64) -> usize {
+        self.mshrs.iter().filter(|e| e.fill_at > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(MemConfig::alpha21164())
+    }
+
+    #[test]
+    fn cold_miss_then_hit_latencies() {
+        let mut h = small();
+        let a = h.data_read(0x10000, 0);
+        assert_eq!(a.level, Level::Memory);
+        assert_eq!(a.ready_at, (50 + a.issue_at));
+        let b = h.data_read(0x10000, a.ready_at);
+        assert_eq!(b.level, Level::L1);
+        assert_eq!(b.ready_at - b.issue_at, 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = small();
+        let addr = 0x4000;
+        let first = h.data_read(addr, 0);
+        assert_eq!(first.level, Level::Memory);
+        // Evict from L1 (8 KB direct-mapped: +8 KB conflicts), keep in L2.
+        let _ = h.data_read(addr + 8 * 1024, 100);
+        let again = h.data_read(addr, 300);
+        assert_eq!(again.level, Level::L2);
+        assert_eq!(again.ready_at - again.issue_at, 8);
+    }
+
+    #[test]
+    fn mshr_merge_same_line() {
+        let mut h = small();
+        let a = h.data_read(0x8000, 0);
+        let b = h.data_read(0x8008, 1); // same 32-byte line, outstanding
+        assert_eq!(h.stats().mshr_merges, 1);
+        assert_eq!(
+            b.ready_at, a.ready_at,
+            "merged access waits for the same fill"
+        );
+        assert_eq!(b.issue_at, 1, "merge does not stall");
+        assert_eq!(b.level, a.level);
+    }
+
+    #[test]
+    fn mshr_structural_stall_when_full() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_mshrs(2));
+        // Three distinct-line misses back-to-back.
+        let _a = h.data_read(0x0000_0000, 0);
+        let b = h.data_read(0x0000_1000, 1);
+        let c = h.data_read(0x0000_2000, 2);
+        // The third miss waits until the earliest outstanding fill frees
+        // its MSHR.
+        assert_eq!(c.issue_at, b.ready_at.min(_a.ready_at));
+        assert!(h.stats().mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn blocking_cache_with_one_mshr() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_mshrs(1));
+        let a = h.data_read(0x0000, 0);
+        let b = h.data_read(0x4000_0000, 1);
+        assert_eq!(
+            b.issue_at, a.ready_at,
+            "one MSHR means fully serialised misses"
+        );
+    }
+
+    #[test]
+    fn tlb_miss_penalty_applies() {
+        let mut h = small();
+        let a = h.data_read(0, 0);
+        assert_eq!(a.issue_at, u64::from(h.config().tlb_miss_penalty));
+        let b = h.data_read(8, a.ready_at);
+        assert_eq!(b.issue_at, a.ready_at, "same page: no second penalty");
+        assert_eq!(h.stats().dtb_misses, 1);
+    }
+
+    #[test]
+    fn icache_behaviour() {
+        let mut h = small();
+        let a = h.inst_fetch(0x100, 5);
+        assert!(a.ready_at > 5, "cold I-fetch misses");
+        let b = h.inst_fetch(0x104, a.ready_at);
+        assert_eq!(b.ready_at, b.issue_at, "same line hits for free");
+        assert_eq!(h.stats().icache_misses, 1);
+    }
+
+    #[test]
+    fn writes_never_stall_and_stay_write_through() {
+        let mut h = small();
+        let w = h.data_write(0x9000, 40); // TLB cold
+        assert_eq!(w.ready_at, w.issue_at + 1);
+        // No allocation on write miss: a subsequent read still misses L1.
+        let r = h.data_read(0x9000, 100);
+        assert_ne!(r.level, Level::L1);
+        assert_eq!(h.stats().stores, 1);
+    }
+
+    #[test]
+    fn outstanding_count_tracks_time() {
+        let mut h = small();
+        let a = h.data_read(0x0, 0);
+        assert_eq!(h.outstanding_misses(a.issue_at), 1);
+        assert_eq!(h.outstanding_misses(a.ready_at + 1), 0);
+    }
+}
+
+#[cfg(test)]
+mod write_buffer_tests {
+    use super::*;
+
+    #[test]
+    fn store_bursts_stall_on_a_finite_buffer() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_write_buffer(2));
+        // Warm the TLB page first.
+        let _ = h.data_write(0x1000, 0);
+        let mut now = 100;
+        let mut stalled = false;
+        for k in 0..8 {
+            let a = h.data_write(0x1000 + k * 8, now);
+            if a.issue_at > now {
+                stalled = true;
+            }
+            now = a.issue_at + 1;
+        }
+        assert!(stalled, "a burst of 8 stores must fill a 2-entry buffer");
+        assert!(h.stats().wb_stall_cycles > 0);
+    }
+
+    #[test]
+    fn infinite_buffer_never_stalls() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164());
+        let _ = h.data_write(0x1000, 0);
+        let mut now = 100;
+        for k in 0..32 {
+            let a = h.data_write(0x1000 + k * 8, now);
+            assert_eq!(a.issue_at, now);
+            now += 1;
+        }
+        assert_eq!(h.stats().wb_stall_cycles, 0);
+    }
+
+    #[test]
+    fn spaced_stores_do_not_stall() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_write_buffer(2));
+        let _ = h.data_write(0x1000, 0);
+        let mut now = 100;
+        for k in 0..8 {
+            let a = h.data_write(0x1000 + k * 8, now);
+            assert_eq!(a.issue_at, now, "a drained buffer never stalls");
+            now = a.issue_at + 10; // far apart
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `bsched-mem` — an Alpha 21164-like memory hierarchy.
+//!
+//! Models the memory system the paper simulates (§4.3, Tables 2–3):
+//! a small direct-mapped first-level data cache with a *lockup-free*
+//! miss-address file (MSHRs), an on-chip second-level cache, an off-chip
+//! third-level (board) cache, main memory, a separate instruction cache,
+//! and fully associative instruction/data TLBs.
+//!
+//! The [`Hierarchy`] type answers timing queries from the simulator:
+//! given an address and the current cycle, when is the data ready, which
+//! level served it, and was there a structural stall for an MSHR?
+//!
+//! ```
+//! use bsched_mem::{Hierarchy, Level, MemConfig};
+//!
+//! let mut h = Hierarchy::new(MemConfig::alpha21164());
+//! let first = h.data_read(0x1000, 0);
+//! assert_ne!(first.level, Level::L1); // cold miss
+//! let again = h.data_read(0x1000, first.ready_at);
+//! assert_eq!(again.level, Level::L1); // now cached
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod stats;
+pub mod tlb;
+
+pub use cache::Cache;
+pub use config::{CacheConfig, MemConfig};
+pub use hierarchy::{Access, Hierarchy, Level};
+pub use stats::MemStats;
+pub use tlb::Tlb;

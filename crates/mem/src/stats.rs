@@ -1,0 +1,74 @@
+//! Aggregated memory-system statistics.
+
+use crate::hierarchy::Level;
+
+/// Counters gathered by the [`crate::Hierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Data reads served by the L1 data cache.
+    pub l1d_hits: u64,
+    /// Data reads served by the second-level cache.
+    pub l2_hits: u64,
+    /// Data reads served by the board cache.
+    pub l3_hits: u64,
+    /// Data reads served by main memory.
+    pub mem_reads: u64,
+    /// Data-read misses merged into an already outstanding MSHR.
+    pub mshr_merges: u64,
+    /// Cycles lost waiting for a free MSHR (structural stalls).
+    pub mshr_stall_cycles: u64,
+    /// Data TLB misses.
+    pub dtb_misses: u64,
+    /// Instruction TLB misses.
+    pub itb_misses: u64,
+    /// Instruction fetches that missed the I-cache.
+    pub icache_misses: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// Cycles lost waiting for a free write-buffer entry.
+    pub wb_stall_cycles: u64,
+}
+
+impl MemStats {
+    /// Total data reads.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.l1d_hits + self.l2_hits + self.l3_hits + self.mem_reads + self.mshr_merges
+    }
+
+    /// L1 data hit rate in [0, 1]; 0 when no reads happened.
+    #[must_use]
+    pub fn l1d_hit_rate(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_hits as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record_read(&mut self, level: Level) {
+        match level {
+            Level::L1 => self.l1d_hits += 1,
+            Level::L2 => self.l2_hits += 1,
+            Level::L3 => self.l3_hits += 1,
+            Level::Memory => self.mem_reads += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let mut s = MemStats::default();
+        s.record_read(Level::L1);
+        s.record_read(Level::L1);
+        s.record_read(Level::Memory);
+        assert_eq!(s.total_reads(), 3);
+        assert!((s.l1d_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1d_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fully associative translation lookaside buffers with LRU replacement.
+
+/// A fully associative TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page number, last-use stamp)
+    capacity: usize,
+    page_size: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries over `page_size`-byte
+    /// pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `page_size` is not a power of two.
+    #[must_use]
+    pub fn new(capacity: usize, page_size: u64) -> Self {
+        assert!(capacity > 0);
+        assert!(page_size.is_power_of_two());
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_size,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr`; returns `true` on a TLB hit. Misses install the
+    /// page, evicting the least recently used entry when full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.page_size;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("TLB is non-empty when full");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.clock));
+        false
+    }
+
+    /// Hit count so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(2, 8192);
+        assert!(!t.access(0));
+        assert!(t.access(8191));
+        assert!(!t.access(8192));
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // refresh page 0; page 1 LRU
+        t.access(8192); // page 2 evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096), "page 1 was evicted");
+    }
+}

@@ -1,0 +1,48 @@
+//! `bsched-opt` — the ILP-increasing compiler optimizations of the paper.
+//!
+//! * [`unroll`] — counted-loop unrolling (§3.1) with postconditioned
+//!   remainder iterations (§3.3, Figure 4), per-copy register renaming,
+//!   and address-displacement folding so the per-iteration indexing
+//!   overhead really disappears from the unrolled body.
+//! * [`peel`] — first-iteration peeling (§3.3, Figure 5), used by
+//!   locality analysis to isolate the temporal-reuse miss.
+//! * [`predicate`] — if-conversion of simple diamonds/triangles to
+//!   conditional moves ("the Multiflow compiler does predicated execution
+//!   on simple conditional branches", §4.2 footnote).
+//! * [`trace`] — profile-guided trace scheduling (§3.2): trace formation
+//!   that never crosses loop back edges, trace compaction with the list
+//!   scheduler, speculation-safety rules, and split/join compensation
+//!   code.
+//! * [`locality`] — the Mowry–Lam–Gupta-style reuse analysis (§3.3):
+//!   affine reference classification, temporal peeling, spatial
+//!   unroll-and-mark, and miss→hit ordering groups.
+//! * [`cleanup`] — copy propagation, dead-code elimination and
+//!   straight-chain block merging run between the structural passes.
+//! * [`linform`] — the linear-form (affine-in-the-loop-counter) analysis
+//!   shared by unrolling and locality analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cleanup;
+pub mod linform;
+pub mod locality;
+pub mod peel;
+pub mod predicate;
+pub mod profile;
+pub mod trace;
+pub mod unroll;
+
+pub use cleanup::{
+    copy_propagate, dead_code_elim, local_cse, merge_straight_chains, refresh_loop_bodies,
+};
+pub use linform::{LinEnv, LinForm};
+pub use locality::{
+    analyze_locality, apply_locality, strip_hints, LocalityOptions, LocalityStats, ReuseKind,
+    ReuseRef,
+};
+pub use peel::{peel_first_iteration, PeelResult};
+pub use predicate::predicate_function;
+pub use profile::EdgeProfile;
+pub use trace::{trace_schedule, TraceOptions, TraceStats};
+pub use unroll::{unroll_function, unroll_loop, UnrollLimits, UnrollResult};

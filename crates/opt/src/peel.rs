@@ -1,0 +1,164 @@
+//! First-iteration loop peeling (paper §3.3, Figure 5).
+//!
+//! Locality analysis peels loops whose body contains a temporal-reuse
+//! reference: the peeled copy's load takes the cache miss, and every
+//! in-loop instance can then be marked a compile-time hit.
+
+use bsched_ir::{Block, BlockId, Bound, BrCond, Function, Inst, Op, Terminator};
+
+/// The result of peeling: where the peeled copy of each original body
+/// instruction landed.
+#[derive(Debug, Clone)]
+pub struct PeelResult {
+    /// The peeled-iteration body block (guarded, runs at most once).
+    pub peeled_body: BlockId,
+    /// Index in `peeled_body` of each original body instruction.
+    pub inst_map: Vec<usize>,
+}
+
+/// Peels the first iteration of a canonical counted loop:
+///
+/// ```text
+/// preheader -> guard:  t = cmplt counter, bound
+///                      br.z t -> header (loop runs zero times)
+///              peeled: body copy; counter += step; jmp header
+/// ```
+///
+/// Returns `None` when the loop is not in the single-block canonical
+/// shape.
+pub fn peel_first_iteration(func: &mut Function, loop_idx: usize) -> Option<PeelResult> {
+    let l = func.loops[loop_idx].clone();
+    if l.body.len() != 1 || l.step <= 0 {
+        return None;
+    }
+    let body = l.body[0];
+    if func.block(body).term != Terminator::Jmp(l.latch) {
+        return None;
+    }
+    // Preheader must end with a jump to the header (not yet restructured).
+    if func.block(l.preheader).term != Terminator::Jmp(l.header) {
+        return None;
+    }
+    // Counter must not be redefined in the body.
+    if func
+        .block(body)
+        .insts
+        .iter()
+        .any(|i| i.dst == Some(l.counter))
+    {
+        return None;
+    }
+
+    let guard = func.add_block(Block::new(Terminator::Ret));
+    let peeled = func.add_block(Block::new(Terminator::Ret));
+
+    // Guard: skip the peel when the loop runs zero times.
+    let t = func.new_reg(bsched_ir::RegClass::Int);
+    let cmp = match l.bound {
+        Bound::Imm(v) => Inst::op_imm(Op::CmpLt, t, l.counter, v),
+        Bound::Reg(r) => Inst::op(Op::CmpLt, t, &[l.counter, r]),
+    };
+    func.block_mut(guard).insts.push(cmp);
+    func.block_mut(guard).term = Terminator::Br {
+        cond: t,
+        when: BrCond::Zero,
+        taken: l.header,
+        fall: peeled,
+    };
+
+    // Peeled copy: identity register names (sequentially sound), hints and
+    // groups stripped (the caller re-marks), then the counter increment.
+    let orig: Vec<Inst> = func.block(body).insts.clone();
+    let mut inst_map = Vec::with_capacity(orig.len());
+    {
+        let pb = func.block_mut(peeled);
+        for inst in &orig {
+            let mut ni = inst.clone();
+            ni.hint = bsched_ir::LocalityHint::Unknown;
+            if let Some(m) = &mut ni.mem {
+                m.line_group = None;
+            }
+            inst_map.push(pb.insts.len());
+            pb.insts.push(ni);
+        }
+        pb.insts
+            .push(Inst::op_imm(Op::Add, l.counter, l.counter, l.step));
+        pb.term = Terminator::Jmp(l.header);
+    }
+
+    // Route the preheader through the guard.
+    func.block_mut(l.preheader).term = Terminator::Jmp(guard);
+
+    Some(PeelResult {
+        peeled_body: peeled,
+        inst_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{Interp, Program};
+    use bsched_workloads::lang::ast::{Expr, Index};
+    use bsched_workloads::lang::{ArrayInit, Kernel};
+
+    fn sum_kernel(n: i64) -> Program {
+        let mut k = Kernel::new("sum");
+        let a = k.array("a", n.max(1) as u64, ArrayInit::Ramp(1.0, 1.0));
+        let out = k.array("out", 8, ArrayInit::Zero);
+        let i = k.int_var("i");
+        let s = k.float_var("s");
+        k.push(k.assign(s, Expr::Float(0.0)));
+        let body = vec![k.assign(s, Expr::Var(s) + Expr::load(a, Index::of(i)))];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(n), body));
+        k.push(k.store(out, Index::constant(0), Expr::Var(s)));
+        k.lower()
+    }
+
+    #[test]
+    fn peel_preserves_semantics() {
+        for n in [0, 1, 2, 7] {
+            let mut p = sum_kernel(n);
+            let want = Interp::new(&p).run().unwrap().checksum;
+            let r = peel_first_iteration(p.main_mut(), 0);
+            assert!(r.is_some(), "n={n}");
+            assert!(bsched_ir::verify_program(&p).is_ok());
+            assert_eq!(Interp::new(&p).run().unwrap().checksum, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn peeled_body_runs_once() {
+        let mut p = sum_kernel(5);
+        let r = peel_first_iteration(p.main_mut(), 0).unwrap();
+        let out = Interp::new(&p).run().unwrap();
+        assert_eq!(out.profile.block(r.peeled_body), 1);
+        // The loop body now runs n-1 = 4 times.
+        let body = p.main().loops[0].body[0];
+        assert_eq!(out.profile.block(body), 4);
+    }
+
+    #[test]
+    fn zero_trip_loop_skips_peel() {
+        let mut p = sum_kernel(0);
+        let r = peel_first_iteration(p.main_mut(), 0).unwrap();
+        let out = Interp::new(&p).run().unwrap();
+        assert_eq!(out.profile.block(r.peeled_body), 0);
+    }
+
+    #[test]
+    fn peel_then_unroll_compose() {
+        use crate::unroll::{unroll_loop, UnrollLimits};
+        for n in [0, 1, 4, 9, 13] {
+            let mut p = sum_kernel(n);
+            let want = Interp::new(&p).run().unwrap().checksum;
+            peel_first_iteration(p.main_mut(), 0).unwrap();
+            // After peeling, the preheader no longer jumps straight to the
+            // header, but unrolling only appends to it, so they compose.
+            let r = unroll_loop(p.main_mut(), 0, &UnrollLimits::for_factor(4));
+            assert!(r.is_some(), "n={n}");
+            assert!(bsched_ir::verify_program(&p).is_ok());
+            assert_eq!(Interp::new(&p).run().unwrap().checksum, want, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Edge-frequency profiles for trace selection.
+//!
+//! The paper's methodology (§4.2): "we first profiled the programs to
+//! determine basic block execution frequencies. This information guided
+//! the Multiflow compiler in picking traces." Here the profile comes from
+//! a run of the reference interpreter on the same program.
+
+use bsched_ir::{BlockId, Interp, Profile, Program};
+
+/// Block and edge frequencies used by the trace picker.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeProfile {
+    profile: Profile,
+}
+
+impl EdgeProfile {
+    /// Wraps an interpreter profile.
+    #[must_use]
+    pub fn new(profile: Profile) -> Self {
+        EdgeProfile { profile }
+    }
+
+    /// Profiles `program` by running it on the reference interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures (fuel exhaustion, wild stores).
+    pub fn collect(program: &Program) -> Result<Self, bsched_ir::ExecError> {
+        Ok(EdgeProfile::new(Interp::new(program).run()?.profile))
+    }
+
+    /// Execution count of a block.
+    #[must_use]
+    pub fn block(&self, b: BlockId) -> u64 {
+        self.profile.block(b)
+    }
+
+    /// Execution count of an edge.
+    #[must_use]
+    pub fn edge(&self, from: BlockId, to: BlockId) -> u64 {
+        self.profile.edge(from, to)
+    }
+
+    /// The most frequent successor of `b` among `succs`, if any was ever
+    /// taken.
+    #[must_use]
+    pub fn hottest_succ(&self, b: BlockId, succs: &[BlockId]) -> Option<BlockId> {
+        succs
+            .iter()
+            .copied()
+            .map(|s| (self.edge(b, s), s))
+            .filter(|&(n, _)| n > 0)
+            .max_by_key(|&(n, s)| (n, std::cmp::Reverse(s.index())))
+            .map(|(_, s)| s)
+    }
+
+    /// The most frequent predecessor of `b` among `preds`, if any.
+    #[must_use]
+    pub fn hottest_pred(&self, b: BlockId, preds: &[BlockId]) -> Option<BlockId> {
+        preds
+            .iter()
+            .copied()
+            .map(|p| (self.edge(p, b), p))
+            .filter(|&(n, _)| n > 0)
+            .max_by_key(|&(n, p)| (n, std::cmp::Reverse(p.index())))
+            .map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
+    use bsched_workloads::lang::{ArrayInit, Kernel};
+
+    #[test]
+    fn profile_identifies_hot_arm() {
+        let mut k = Kernel::new("hot");
+        let out = k.array("out", 8, ArrayInit::Zero);
+        let i = k.int_var("i");
+        let s = k.int_var("s");
+        k.push(k.assign(s, Expr::Int(0)));
+        let body = vec![Stmt::If {
+            cond: Expr::cmp(CmpOp::Lt, Expr::Var(i), Expr::Int(90)),
+            then_: vec![k.assign(s, Expr::Var(s) + Expr::Int(1))],
+            else_: vec![k.assign(s, Expr::Var(s) + Expr::Int(1000))],
+        }];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(100), body));
+        k.push(k.store(
+            out,
+            Index::constant(0),
+            Expr::IntToFloat(Box::new(Expr::Var(s))),
+        ));
+        let p = k.lower();
+        let prof = EdgeProfile::collect(&p).unwrap();
+        // Find the if's branch block: the body's first block.
+        let body0 = p.main().loops[0].body[0];
+        let succs = match &p.main().block(body0).term {
+            bsched_ir::Terminator::Br { taken, fall, .. } => vec![*taken, *fall],
+            t => panic!("expected branch, found {t:?}"),
+        };
+        let hot = prof.hottest_succ(body0, &succs).unwrap();
+        assert_eq!(hot, succs[0], "then-arm runs 90 of 100 iterations");
+        assert_eq!(prof.edge(body0, succs[0]), 90);
+        assert_eq!(prof.edge(body0, succs[1]), 10);
+        assert_eq!(prof.block(body0), 100);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: every structural pass preserves program semantics on
+//! randomly generated canonical loops, alone and in combination.
+
+use bsched_ir::{Interp, Program};
+use bsched_opt::{
+    copy_propagate, dead_code_elim, local_cse, peel_first_iteration, predicate_function,
+    trace_schedule, unroll_loop, EdgeProfile, TraceOptions, UnrollLimits,
+};
+use bsched_workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
+use bsched_workloads::lang::{ArrayInit, Kernel};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct LoopPlan {
+    trip: i64,
+    step: i64,
+    off1: i64,
+    off2: i64,
+    scale: i64,
+    with_if: bool,
+    with_acc: bool,
+}
+
+fn arb_plan() -> impl Strategy<Value = LoopPlan> {
+    (
+        0i64..20,
+        1i64..4,
+        0i64..4,
+        0i64..4,
+        1i64..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(trip, step, off1, off2, scale, with_if, with_acc)| LoopPlan {
+                trip,
+                step,
+                off1,
+                off2,
+                scale,
+                with_if,
+                with_acc,
+            },
+        )
+}
+
+fn build(plan: &LoopPlan) -> Program {
+    let mut k = Kernel::new("prop");
+    let a = k.array("a", 256, ArrayInit::Random(9));
+    let out = k.array("out", 256, ArrayInit::Zero);
+    let i = k.int_var("i");
+    let s = k.float_var("s");
+    k.push(k.assign(s, Expr::Float(0.5)));
+    let mut body = vec![k.store(
+        out,
+        Index::of_plus(i, plan.off1),
+        Expr::load(
+            a,
+            Index::Affine {
+                terms: vec![(i, plan.scale)],
+                offset: plan.off2,
+            },
+        ) * Expr::Float(1.5)
+            + Expr::load(a, Index::of(i)),
+    )];
+    if plan.with_acc {
+        body.push(k.assign(
+            s,
+            Expr::Var(s) + Expr::load(a, Index::of_plus(i, plan.off2)),
+        ));
+    }
+    if plan.with_if {
+        body.push(Stmt::If {
+            cond: Expr::cmp(CmpOp::Lt, Expr::load(a, Index::of(i)), Expr::Float(0.5)),
+            then_: vec![k.assign(s, Expr::Var(s) * Expr::Float(1.01))],
+            else_: vec![k.assign(s, Expr::Var(s) + Expr::Float(0.25))],
+        });
+    }
+    k.push(k.for_loop_step(i, Expr::Int(0), Expr::Int(plan.trip), plan.step, body));
+    k.push(k.store(out, Index::constant(128), Expr::Var(s)));
+    k.lower()
+}
+
+fn checksum(p: &Program) -> u64 {
+    Interp::new(p).run().expect("program executes").checksum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cse_and_cleanup_preserve_semantics(plan in arb_plan()) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        dead_code_elim(p.main_mut());
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn predication_preserves_semantics(plan in arb_plan()) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        predicate_function(p.main_mut());
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn unroll_preserves_semantics(plan in arb_plan(), factor in prop_oneof![Just(2u32), Just(4), Just(8)]) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        predicate_function(p.main_mut());
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        dead_code_elim(p.main_mut());
+        let _ = unroll_loop(p.main_mut(), 0, &UnrollLimits::for_factor(factor));
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn peel_preserves_semantics(plan in arb_plan()) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        predicate_function(p.main_mut());
+        let _ = peel_first_iteration(p.main_mut(), 0);
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn trace_scheduling_preserves_semantics(plan in arb_plan()) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        let profile = EdgeProfile::collect(&p).expect("profile");
+        trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn full_stack_composition_preserves_semantics(plan in arb_plan()) {
+        let mut p = build(&plan);
+        let want = checksum(&p);
+        predicate_function(p.main_mut());
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        dead_code_elim(p.main_mut());
+        let _ = unroll_loop(p.main_mut(), 0, &UnrollLimits::for_factor(4));
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        dead_code_elim(p.main_mut());
+        let profile = EdgeProfile::collect(&p).expect("profile");
+        trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
+        dead_code_elim(p.main_mut());
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        prop_assert_eq!(checksum(&p), want);
+    }
+}

@@ -1,0 +1,208 @@
+//! The experiment grid of the paper's evaluation and a memoizing runner.
+
+use crate::options::CompileOptions;
+use crate::run::{compile_and_run, RunResult};
+use crate::PipelineError;
+use bsched_core::SchedulerKind;
+use bsched_ir::Program;
+use std::collections::HashMap;
+
+/// The optimization combinations evaluated in the paper (Tables 4–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigKind {
+    /// No ILP-increasing optimization.
+    Base,
+    /// Loop unrolling by the factor.
+    Lu(u32),
+    /// Trace scheduling plus loop unrolling by the factor (§5.2: trace
+    /// scheduling is always paired with unrolling).
+    TrsLu(u32),
+    /// Locality analysis alone.
+    La,
+    /// Locality analysis plus loop unrolling.
+    LaLu(u32),
+    /// Locality analysis plus trace scheduling plus loop unrolling.
+    LaTrsLu(u32),
+}
+
+impl ConfigKind {
+    /// Builds the compile options for this configuration under a
+    /// scheduler.
+    #[must_use]
+    pub fn options(self, scheduler: SchedulerKind) -> CompileOptions {
+        let base = CompileOptions::new(scheduler);
+        match self {
+            ConfigKind::Base => base,
+            ConfigKind::Lu(f) => base.with_unroll(f),
+            ConfigKind::TrsLu(f) => base.with_unroll(f).with_trace(),
+            ConfigKind::La => base.with_locality(),
+            ConfigKind::LaLu(f) => base.with_unroll(f).with_locality(),
+            ConfigKind::LaTrsLu(f) => base.with_unroll(f).with_trace().with_locality(),
+        }
+    }
+
+    /// Short label (`LU 4`, `TrS+LU 8`, …) as the paper's tables use.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            ConfigKind::Base => "none".to_string(),
+            ConfigKind::Lu(f) => format!("LU {f}"),
+            ConfigKind::TrsLu(f) => format!("TrS+LU {f}"),
+            ConfigKind::La => "LA".to_string(),
+            ConfigKind::LaLu(f) => format!("LA+LU {f}"),
+            ConfigKind::LaTrsLu(f) => format!("LA+TrS+LU {f}"),
+        }
+    }
+}
+
+/// A (scheduler, optimization set) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExperimentConfig {
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// The optimization combination.
+    pub kind: ConfigKind,
+}
+
+impl ExperimentConfig {
+    /// The compile options for this experiment.
+    #[must_use]
+    pub fn options(&self) -> CompileOptions {
+        self.kind.options(self.scheduler)
+    }
+}
+
+/// The full standard grid: {TS, BS} × {none, LU4, LU8, TrS+LU4, TrS+LU8}
+/// plus BS × {LA, LA+LU4, LA+LU8, LA+TrS+LU4, LA+TrS+LU8}.
+/// (Locality analysis has no traditional-scheduling counterpart, §5.4.)
+#[must_use]
+pub fn standard_grid() -> Vec<ExperimentConfig> {
+    let mut grid = Vec::new();
+    for scheduler in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+        for kind in [
+            ConfigKind::Base,
+            ConfigKind::Lu(4),
+            ConfigKind::Lu(8),
+            ConfigKind::TrsLu(4),
+            ConfigKind::TrsLu(8),
+        ] {
+            grid.push(ExperimentConfig { scheduler, kind });
+        }
+    }
+    for kind in [
+        ConfigKind::La,
+        ConfigKind::LaLu(4),
+        ConfigKind::LaLu(8),
+        ConfigKind::LaTrsLu(4),
+        ConfigKind::LaTrsLu(8),
+    ] {
+        grid.push(ExperimentConfig {
+            scheduler: SchedulerKind::Balanced,
+            kind,
+        });
+    }
+    grid
+}
+
+/// A memoizing experiment runner: each (kernel, configuration) pair is
+/// compiled and simulated once per process.
+#[derive(Default)]
+pub struct Runner {
+    cache: HashMap<(String, String), RunResult>,
+}
+
+impl Runner {
+    /// Creates an empty runner.
+    #[must_use]
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Runs (or recalls) one kernel under one configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's memory image diverges from the reference
+    /// interpreter — that is a bug, not a measurement.
+    pub fn run(
+        &mut self,
+        kernel_name: &str,
+        program: &Program,
+        config: ExperimentConfig,
+    ) -> Result<&RunResult, PipelineError> {
+        let key = (kernel_name.to_string(), config.options().label());
+        if !self.cache.contains_key(&key) {
+            let result = compile_and_run(program, &config.options())?;
+            assert!(result.checksum_ok, "simulator diverged on {kernel_name}");
+            self.cache.insert(key.clone(), result);
+        }
+        Ok(&self.cache[&key])
+    }
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Runner({} cached runs)", self.cache.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_fifteen_configs() {
+        let g = standard_grid();
+        assert_eq!(g.len(), 15);
+        assert_eq!(
+            g.iter()
+                .filter(|c| c.scheduler == SchedulerKind::Traditional)
+                .count(),
+            5
+        );
+        // No TS+LA combination exists.
+        assert!(!g.iter().any(|c| c.scheduler == SchedulerKind::Traditional
+            && matches!(
+                c.kind,
+                ConfigKind::La | ConfigKind::LaLu(_) | ConfigKind::LaTrsLu(_)
+            )));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let g = standard_grid();
+        let labels: std::collections::HashSet<String> =
+            g.iter().map(|c| c.options().label()).collect();
+        assert_eq!(labels.len(), g.len());
+    }
+
+    #[test]
+    fn runner_memoizes() {
+        use bsched_workloads::lang::ast::{Expr, Index};
+        use bsched_workloads::lang::{ArrayInit, Kernel};
+        let mut k = Kernel::new("tiny");
+        let a = k.array("a", 32, ArrayInit::Ramp(0.0, 1.0));
+        let i = k.int_var("i");
+        let body = vec![k.store(
+            a,
+            Index::of(i),
+            Expr::load(a, Index::of(i)) + Expr::Float(1.0),
+        )];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(32), body));
+        let p = k.lower();
+
+        let mut r = Runner::new();
+        let cfg = ExperimentConfig {
+            scheduler: SchedulerKind::Balanced,
+            kind: ConfigKind::Base,
+        };
+        let c1 = r.run("tiny", &p, cfg).unwrap().metrics.cycles;
+        let c2 = r.run("tiny", &p, cfg).unwrap().metrics.cycles;
+        assert_eq!(c1, c2);
+        assert_eq!(format!("{r:?}"), "Runner(1 cached runs)");
+    }
+}

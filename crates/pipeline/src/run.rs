@@ -1,0 +1,104 @@
+//! Compile-and-simulate entry point.
+
+use crate::compile::{compile, CompileStats, PipelineError};
+use crate::options::CompileOptions;
+use bsched_ir::{Interp, Program};
+use bsched_sim::{SimMetrics, Simulator};
+
+/// The result of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Timing metrics from the 21164-like simulator.
+    pub metrics: SimMetrics,
+    /// Compilation statistics.
+    pub compile: CompileStats,
+    /// `true` when the simulator's final memory matched the reference
+    /// interpreter's (always checked; a `false` here is a simulator bug).
+    pub checksum_ok: bool,
+}
+
+/// Compiles `source` under `opts` and runs it on the timing simulator.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`]s from compilation and simulation.
+pub fn compile_and_run(
+    source: &Program,
+    opts: &CompileOptions,
+) -> Result<RunResult, PipelineError> {
+    let compiled = compile(source, opts)?;
+    let reference = Interp::new(source).run()?;
+    let sim = Simulator::new(&compiled.program, opts.sim).run()?;
+    Ok(RunResult {
+        metrics: sim.metrics,
+        compile: compiled.stats,
+        checksum_ok: sim.checksum == reference.checksum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_core::SchedulerKind;
+    use bsched_workloads::lang::ast::{Expr, Index};
+    use bsched_workloads::lang::{ArrayInit, Kernel};
+
+    fn stream_kernel(n: i64) -> Program {
+        let mut k = Kernel::new("stream");
+        let a = k.array("a", n as u64, ArrayInit::Random(1));
+        let b = k.array("b", n as u64, ArrayInit::Random(2));
+        let c = k.array("c", n as u64, ArrayInit::Zero);
+        let i = k.int_var("i");
+        let body = vec![k.store(
+            c,
+            Index::of(i),
+            Expr::load(a, Index::of(i)) * Expr::Float(3.0) + Expr::load(b, Index::of(i)),
+        )];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(n), body));
+        k.lower()
+    }
+
+    #[test]
+    fn balanced_beats_traditional_on_streaming_loads() {
+        let p = stream_kernel(2048); // 16 KB arrays: spills out of L1
+        let bs = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+        let ts = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Traditional)).unwrap();
+        assert!(bs.checksum_ok && ts.checksum_ok);
+        assert!(
+            bs.metrics.load_interlock <= ts.metrics.load_interlock,
+            "balanced scheduling must not increase load interlocks: {} vs {}",
+            bs.metrics.load_interlock,
+            ts.metrics.load_interlock
+        );
+    }
+
+    #[test]
+    fn unrolling_reduces_cycles() {
+        let p = stream_kernel(1024);
+        let base = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+        let lu4 = compile_and_run(
+            &p,
+            &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+        )
+        .unwrap();
+        assert!(
+            lu4.metrics.cycles < base.metrics.cycles,
+            "LU4 must speed up a streaming loop: {} vs {}",
+            lu4.metrics.cycles,
+            base.metrics.cycles
+        );
+        assert!(lu4.metrics.insts.total() < base.metrics.insts.total());
+    }
+
+    #[test]
+    fn locality_runs_and_stays_correct() {
+        let p = stream_kernel(512);
+        let la = compile_and_run(
+            &p,
+            &CompileOptions::new(SchedulerKind::Balanced).with_locality(),
+        )
+        .unwrap();
+        assert!(la.checksum_ok);
+        assert!(la.compile.locality.hits_marked > 0);
+    }
+}

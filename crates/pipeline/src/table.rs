@@ -1,0 +1,136 @@
+//! Plain-text table formatting for the experiment binaries.
+
+use std::fmt;
+
+/// A simple fixed-width table with a title, headers and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        writeln!(f, "{}", "=".repeat(total))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:>width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a speedup ratio as the paper does (`1.19`).
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage (`23.3%`).
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Arithmetic mean (the paper's AVERAGE rows).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Table X: demo", &["Benchmark", "Speedup"]);
+        t.row(vec!["tomcatv".into(), ratio(1.5)]);
+        t.row(vec!["x".into(), ratio(0.93)]);
+        let s = t.to_string();
+        assert!(s.contains("Table X: demo"));
+        assert!(s.contains("tomcatv"));
+        assert!(s.contains("1.50"));
+        assert!(s.contains("0.93"));
+        assert_eq!(t.len(), 2);
+        // Columns align: the two ratio cells end at the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(ratio(1.189), "1.19");
+        assert_eq!(pct(0.233), "23.3%");
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Live-interval construction over a linearised program-point numbering.
+
+use bsched_ir::{Cfg, Function, Liveness, Reg};
+use std::collections::HashMap;
+
+/// A conservative live interval `[start, end]` in linearised program
+/// points (holes are ignored, as in classic linear scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The register.
+    pub reg: Reg,
+    /// First program point where the register is live.
+    pub start: u32,
+    /// Last program point where the register is live.
+    pub end: u32,
+}
+
+/// Computes live intervals for every *virtual* register of `func`.
+///
+/// Program points: blocks in layout order; each block contributes one
+/// point for its entry, one per instruction, and one for its terminator.
+#[must_use]
+pub fn intervals(func: &Function) -> Vec<Interval> {
+    let cfg = Cfg::new(func);
+    let live = Liveness::new(func, &cfg);
+
+    let mut spans: HashMap<Reg, (u32, u32)> = HashMap::new();
+    let touch = |r: Reg, p: u32, spans: &mut HashMap<Reg, (u32, u32)>| {
+        if !r.is_phys() {
+            let e = spans.entry(r).or_insert((p, p));
+            e.0 = e.0.min(p);
+            e.1 = e.1.max(p);
+        }
+    };
+
+    let mut pos: u32 = 0;
+    for (id, block) in func.iter_blocks() {
+        let entry_pos = pos;
+        for &r in live.live_in(id) {
+            touch(r, entry_pos, &mut spans);
+        }
+        pos += 1;
+        for inst in &block.insts {
+            for &s in inst.srcs() {
+                touch(s, pos, &mut spans);
+            }
+            if let Some(d) = inst.dst {
+                touch(d, pos, &mut spans);
+            }
+            pos += 1;
+        }
+        let term_pos = pos;
+        if let Some(c) = block.term.cond_reg() {
+            touch(c, term_pos, &mut spans);
+        }
+        for &r in live.live_out(id) {
+            touch(r, term_pos, &mut spans);
+        }
+        pos += 1;
+    }
+
+    let mut out: Vec<Interval> = spans
+        .into_iter()
+        .map(|(reg, (start, end))| Interval { reg, start, end })
+        .collect();
+    out.sort_by_key(|iv| (iv.start, iv.end, iv.reg.index()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{FuncBuilder, Op, RegClass};
+
+    #[test]
+    fn straight_line_intervals_nest() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.iconst(1); // long-lived
+        let y = b.binop_imm(Op::Add, x, 1); // short
+        let _z = b.binop(Op::Add, x, y);
+        b.ret();
+        let f = b.finish();
+        let ivs = intervals(&f);
+        let get = |r| ivs.iter().find(|iv| iv.reg == r).copied().unwrap();
+        assert!(get(x).start < get(y).start);
+        assert!(get(x).end >= get(y).end);
+    }
+
+    #[test]
+    fn loop_carried_interval_spans_loop() {
+        use bsched_ir::{BrCond, Inst};
+        let mut b = FuncBuilder::new("t");
+        let header = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        let s = b.iconst(0);
+        let n = b.iconst(4);
+        let i = b.iconst(0);
+        b.jmp(header);
+        b.switch_to(header);
+        let c = b.binop(Op::CmpLt, i, n);
+        b.br(c, BrCond::Zero, exit, body);
+        b.switch_to(body);
+        b.push(Inst::op(Op::Add, s, &[s, i]));
+        b.push(Inst::op_imm(Op::Add, i, i, 1));
+        b.jmp(header);
+        b.switch_to(exit);
+        let _u = b.binop_imm(Op::Add, s, 0);
+        b.ret();
+        let f = b.finish();
+        let ivs = intervals(&f);
+        let s_iv = ivs.iter().find(|iv| iv.reg == s).unwrap();
+        // s must be live from its def in the entry to its use in the exit
+        // block, covering the whole loop.
+        let total_points: u32 = f.blocks().iter().map(|b| b.len() as u32 + 2).sum();
+        assert!(s_iv.end > s_iv.start);
+        assert!(s_iv.end >= total_points - 3, "spans into the exit block");
+    }
+
+    #[test]
+    fn physical_registers_are_ignored() {
+        use bsched_ir::Inst;
+        let mut b = FuncBuilder::new("t");
+        let p = Reg::phys(RegClass::Int, 3);
+        b.push(Inst::li(p, 1));
+        b.ret();
+        let f = b.finish();
+        assert!(intervals(&f).is_empty());
+    }
+}

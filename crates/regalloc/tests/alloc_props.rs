@@ -1,0 +1,92 @@
+//! Property tests for register allocation: colorings are proper, and the
+//! rewritten code preserves semantics.
+
+use bsched_ir::{FuncBuilder, Interp, Op, Program, RegClass};
+use bsched_regalloc::allocate;
+use bsched_regalloc::coloring::{color, interference};
+use proptest::prelude::*;
+
+/// Builds a straight-line program with `n` chained float values and `w`
+/// independent live webs (w controls pressure).
+fn pressure_program(webs: usize, chain: usize) -> Program {
+    let mut p = Program::new("prop");
+    let r = p.add_region("out", (webs * 8) as u64 + 8);
+    let mut b = FuncBuilder::new("main");
+    let base = b.load_region_addr(r);
+    let mut heads = Vec::new();
+    for w in 0..webs {
+        let mut v = b.fconst(w as f64 + 1.0);
+        for _ in 0..chain {
+            v = b.binop_imm_like(v);
+        }
+        heads.push(v);
+    }
+    for (w, v) in heads.iter().enumerate() {
+        b.store(*v, base, (w * 8) as i64)
+            .with_region(r)
+            .emit(&mut b);
+    }
+    b.ret();
+    p.set_main(b.finish());
+    p
+}
+
+trait FMulSelf {
+    fn binop_imm_like(&mut self, v: bsched_ir::Reg) -> bsched_ir::Reg;
+}
+impl FMulSelf for FuncBuilder {
+    fn binop_imm_like(&mut self, v: bsched_ir::Reg) -> bsched_ir::Reg {
+        self.binop(Op::FMul, v, v)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn coloring_is_proper(webs in 1usize..40, chain in 0usize..4) {
+        let p = pressure_program(webs, chain);
+        let g = interference(p.main());
+        let (colors, spilled) = color(&g, 8);
+        for (i, &reg) in g.nodes.iter().enumerate() {
+            if let Some(&c) = colors.get(&reg) {
+                prop_assert!(c < 8);
+                for &j in &g.adj[i] {
+                    if let Some(&cj) = colors.get(&g.nodes[j]) {
+                        prop_assert_ne!(c, cj, "adjacent nodes share a color");
+                    }
+                }
+            }
+        }
+        // Everything is either colored or spilled.
+        for &reg in &g.nodes {
+            prop_assert!(colors.contains_key(&reg) || spilled.contains(&reg));
+        }
+    }
+
+    #[test]
+    fn allocation_preserves_semantics(webs in 1usize..48, chain in 0usize..3) {
+        let mut p = pressure_program(webs, chain);
+        let want = Interp::new(&p).run().unwrap().checksum;
+        let stats = allocate(&mut p);
+        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        let got = Interp::new(&p).run().unwrap().checksum;
+        prop_assert_eq!(want, got);
+        // High web counts must spill (28 allocatable floats).
+        if webs > 35 && chain == 0 {
+            prop_assert!(stats.spilled > 0 || stats.assigned >= webs as u64);
+        }
+        // No virtual registers survive.
+        for (_, blk) in p.main().iter_blocks() {
+            for inst in &blk.insts {
+                for &s in inst.srcs() {
+                    prop_assert!(s.is_phys());
+                }
+                if let Some(d) = inst.dst {
+                    prop_assert!(d.is_phys());
+                }
+            }
+        }
+        let _ = RegClass::Int;
+    }
+}

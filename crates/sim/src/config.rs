@@ -1,0 +1,137 @@
+//! Simulator configuration.
+
+use bsched_mem::MemConfig;
+
+/// Branch predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Number of 2-bit counters in the bimodal table (power of two).
+    pub entries: usize,
+    /// Pipeline refill penalty in cycles on a mispredicted conditional
+    /// branch (21164-like).
+    pub mispredict_penalty: u32,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            entries: 1024,
+            mispredict_penalty: 5,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// The memory hierarchy.
+    pub mem: MemConfig,
+    /// The branch predictor.
+    pub branch: BranchConfig,
+    /// Instruction budget before aborting (guards against miscompiles).
+    pub fuel: u64,
+    /// Model instruction fetch through the I-cache/ITB. Disable to study
+    /// data-side effects in isolation (the original Kerns–Eggers model
+    /// assumed a perfect I-cache; the 1995 paper models it — both are
+    /// reproducible with this switch).
+    pub model_ifetch: bool,
+    /// Instructions issued per cycle. The paper deliberately studies
+    /// single issue (§4.3) and names wider-issue processors as future
+    /// work (§6); widths 2/4 implement that extension. In-order: a stall
+    /// drains the whole issue group.
+    pub issue_width: u32,
+    /// Memory operations (loads + stores) that may issue per cycle.
+    pub mem_ports: u32,
+    /// Kerns–Eggers 1993 simple-machine mode: every non-load instruction
+    /// executes in a single cycle ("assumed single-cycle execution for
+    /// all other multi-cycle instructions", §5.5). Loads keep their real
+    /// hierarchy latencies.
+    pub uniform_fixed_latency: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mem: MemConfig::alpha21164(),
+            branch: BranchConfig::default(),
+            fuel: 500_000_000,
+            model_ifetch: true,
+            issue_width: 1,
+            mem_ports: 1,
+            uniform_fixed_latency: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the configuration with a different MSHR count (blocking vs.
+    /// non-blocking ablation).
+    #[must_use]
+    pub fn with_mshrs(mut self, n: usize) -> Self {
+        self.mem = self.mem.with_mshrs(n);
+        self
+    }
+
+    /// Returns the configuration with I-fetch modeling switched.
+    #[must_use]
+    pub fn with_ifetch(mut self, on: bool) -> Self {
+        self.model_ifetch = on;
+        self
+    }
+
+    /// Returns the configuration with a different issue width (the
+    /// paper's future-work extension). Memory ports scale as
+    /// `max(1, width/2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_issue_width(mut self, width: u32) -> Self {
+        assert!(width > 0, "issue width must be positive");
+        self.issue_width = width;
+        self.mem_ports = (width / 2).max(1);
+        self
+    }
+
+    /// Returns the Kerns–Eggers 1993 simple-machine configuration:
+    /// perfect I-cache and single-cycle non-load execution (§5.5).
+    #[must_use]
+    pub fn simple_model_1993(mut self) -> Self {
+        self.model_ifetch = false;
+        self.uniform_fixed_latency = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_machine() {
+        let c = SimConfig::default();
+        assert_eq!(c.mem.mshrs, 6);
+        assert_eq!(c.branch.mispredict_penalty, 5);
+        assert!(c.model_ifetch);
+        assert_eq!(c.issue_width, 1);
+        assert_eq!(c.with_mshrs(1).mem.mshrs, 1);
+        assert!(!c.with_ifetch(false).model_ifetch);
+    }
+
+    #[test]
+    fn issue_width_scaling() {
+        let c = SimConfig::default().with_issue_width(4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.mem_ports, 2);
+        let c2 = SimConfig::default().with_issue_width(1);
+        assert_eq!(c2.mem_ports, 1);
+    }
+
+    #[test]
+    fn simple_model_matches_ke93() {
+        let c = SimConfig::default().simple_model_1993();
+        assert!(!c.model_ifetch);
+        assert!(c.uniform_fixed_latency);
+    }
+}

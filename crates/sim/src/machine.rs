@@ -1,0 +1,601 @@
+//! The execution-driven timing machine.
+
+use crate::branch::BranchPredictor;
+use crate::config::SimConfig;
+use crate::metrics::SimMetrics;
+use bsched_ir::{
+    interp::RegFile, BlockId, ExecError, Function, MemImage, Op, Program, Terminator, Value,
+};
+use bsched_mem::Hierarchy;
+
+/// Result of a simulated run: timing metrics plus the functional outcome
+/// (memory checksum) used to cross-check against the reference
+/// interpreter.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Timing and instruction-count metrics.
+    pub metrics: SimMetrics,
+    /// FNV-1a hash of the final memory image.
+    pub checksum: u64,
+}
+
+/// Per-register scoreboard: when each register's value becomes available
+/// and whether its most recent producer was a load (for interlock
+/// attribution).
+#[derive(Debug)]
+struct Scoreboard {
+    ready_int: Vec<u64>,
+    ready_float: Vec<u64>,
+    from_load_int: Vec<bool>,
+    from_load_float: Vec<bool>,
+}
+
+impl Scoreboard {
+    fn new(func: &Function) -> Self {
+        use bsched_ir::RegClass;
+        let ni = bsched_ir::Reg::NUM_PHYS as usize + func.vreg_count(RegClass::Int) as usize;
+        let nf = bsched_ir::Reg::NUM_PHYS as usize + func.vreg_count(RegClass::Float) as usize;
+        Scoreboard {
+            ready_int: vec![0; ni],
+            ready_float: vec![0; nf],
+            from_load_int: vec![false; ni],
+            from_load_float: vec![false; nf],
+        }
+    }
+
+    fn ready(&self, r: bsched_ir::Reg) -> (u64, bool) {
+        let s = RegFile::slot(r);
+        match r.class() {
+            bsched_ir::RegClass::Int => (self.ready_int[s], self.from_load_int[s]),
+            bsched_ir::RegClass::Float => (self.ready_float[s], self.from_load_float[s]),
+        }
+    }
+
+    fn set(&mut self, r: bsched_ir::Reg, at: u64, from_load: bool) {
+        let s = RegFile::slot(r);
+        match r.class() {
+            bsched_ir::RegClass::Int => {
+                self.ready_int[s] = at;
+                self.from_load_int[s] = from_load;
+            }
+            bsched_ir::RegClass::Float => {
+                self.ready_float[s] = at;
+                self.from_load_float[s] = from_load;
+            }
+        }
+    }
+}
+
+/// The simulator. Build with [`Simulator::new`], consume with
+/// [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    config: SimConfig,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `program`.
+    #[must_use]
+    pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        Simulator { program, config }
+    }
+
+    /// Runs the program to completion on the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::OutOfFuel`] if the configured instruction
+    /// budget is exhausted and [`ExecError::WildStore`] on a store outside
+    /// the memory image.
+    pub fn run(&self) -> Result<SimResult, ExecError> {
+        let func = self.program.main();
+        let mut regs = RegFile::new(func);
+        let mut mem = MemImage::new(self.program);
+        let bases = mem.region_bases.clone();
+        let mut board = Scoreboard::new(func);
+        let mut hier = Hierarchy::new(self.config.mem);
+        let mut pred = BranchPredictor::new(&self.config.branch);
+        let mut m = SimMetrics::default();
+
+        // Code layout: 4 bytes per instruction, terminator included. Code
+        // lives in its own address region far above data so instruction
+        // fetches and data accesses never share cache lines.
+        const CODE_BASE: u64 = 1 << 32;
+        let mut block_addr = Vec::with_capacity(func.blocks().len());
+        let mut pc = CODE_BASE;
+        for (_, b) in func.iter_blocks() {
+            block_addr.push(pc);
+            pc += 4 * (b.len() as u64 + 1);
+        }
+
+        let mut now: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut cur = func.entry();
+        // Issue-group state for multi-issue configurations. Any stall
+        // advances `now`, opening a fresh group.
+        let width = self.config.issue_width.max(1);
+        let ports = self.config.mem_ports.max(1);
+        let mut slot: u32 = 0;
+        let mut mem_slot: u32 = 0;
+        let fixed_latency = |op: Op| -> u32 {
+            if self.config.uniform_fixed_latency {
+                1
+            } else {
+                op.latency()
+            }
+        };
+
+        loop {
+            let block = func.block(cur);
+            let base_pc = block_addr[cur.index()];
+            for (k, inst) in block.insts.iter().enumerate() {
+                executed += 1;
+                if executed > self.config.fuel {
+                    return Err(ExecError::OutOfFuel {
+                        fuel: self.config.fuel,
+                    });
+                }
+                // 1. Fetch.
+                if self.config.model_ifetch {
+                    let f = hier.inst_fetch(base_pc + 4 * k as u64, now);
+                    if f.ready_at > now {
+                        m.fetch_stall += f.ready_at - now;
+                        now = f.ready_at;
+                        slot = 0;
+                        mem_slot = 0;
+                    }
+                }
+                // 2. Structural issue limits: group full, or out of
+                // memory ports — advance to the next cycle first so the
+                // operand check below sees the true issue cycle.
+                if slot >= width || (inst.op.is_memory() && mem_slot >= ports) {
+                    now += 1;
+                    slot = 0;
+                    mem_slot = 0;
+                }
+                // 2b. Operand interlock.
+                let mut op_ready = now;
+                let mut blame_load = false;
+                for &s in inst.srcs() {
+                    let (t, from_load) = board.ready(s);
+                    if t > op_ready || (t == op_ready && from_load && t > now) {
+                        op_ready = t;
+                        blame_load = from_load;
+                    }
+                }
+                if op_ready > now {
+                    let stall = op_ready - now;
+                    if blame_load {
+                        m.load_interlock += stall;
+                    } else {
+                        m.fixed_interlock += stall;
+                    }
+                    now = op_ready;
+                    slot = 0;
+                    mem_slot = 0;
+                }
+                // 3. Execute.
+                m.insts.record(inst);
+                match inst.op {
+                    Op::Ld => {
+                        let base = regs.get(inst.mem_base()).as_int();
+                        let addr = base.wrapping_add(inst.mem_disp()) as u64;
+                        let stall_before = hier.stats().mshr_stall_cycles;
+                        let a = hier.data_read(addr, now);
+                        let mshr_stall = hier.stats().mshr_stall_cycles - stall_before;
+                        let issue_delay = a.issue_at - now;
+                        m.load_interlock += mshr_stall;
+                        m.tlb_stall += issue_delay - mshr_stall;
+                        if a.issue_at > now {
+                            now = a.issue_at;
+                            slot = 0;
+                            mem_slot = 0;
+                        }
+                        let dst = inst.dst.expect("load has a destination");
+                        regs.set(dst, Value::from_bits(dst.class(), mem.load(addr)));
+                        board.set(dst, a.ready_at, true);
+                    }
+                    Op::St => {
+                        let base = regs.get(inst.mem_base()).as_int();
+                        let addr = base.wrapping_add(inst.mem_disp()) as u64;
+                        let wb_before = hier.stats().wb_stall_cycles;
+                        let a = hier.data_write(addr, now);
+                        let wb_stall = hier.stats().wb_stall_cycles - wb_before;
+                        m.store_stall += wb_stall;
+                        m.tlb_stall += (a.issue_at - now) - wb_stall;
+                        if a.issue_at > now {
+                            now = a.issue_at;
+                            slot = 0;
+                            mem_slot = 0;
+                        }
+                        mem.store(addr, regs.get(inst.srcs()[0]).to_bits())?;
+                    }
+                    Op::LdAddr => {
+                        let region = inst
+                            .mem
+                            .and_then(|mm| mm.region)
+                            .expect("ldaddr has a region");
+                        let dst = inst.dst.expect("ldaddr has a destination");
+                        regs.set(dst, Value::Int(bases[region.index() as usize] as i64));
+                        board.set(dst, now + u64::from(fixed_latency(inst.op)), false);
+                    }
+                    _ => {
+                        let mut vals = [Value::Int(0); 3];
+                        for (slot, &s) in vals.iter_mut().zip(inst.srcs()) {
+                            *slot = regs.get(s);
+                        }
+                        let v = bsched_ir::value::eval(
+                            inst.op,
+                            &vals[..inst.srcs().len()],
+                            inst.imm,
+                            inst.fimm,
+                        );
+                        let dst = inst.dst.expect("pure op has a destination");
+                        regs.set(dst, v);
+                        board.set(dst, now + u64::from(fixed_latency(inst.op)), false);
+                    }
+                }
+                // 4. The instruction occupies one slot of the group.
+                slot += 1;
+                if inst.op.is_memory() {
+                    mem_slot += 1;
+                }
+            }
+
+            // Terminator.
+            let term_pc = base_pc + 4 * block.len() as u64;
+            if self.config.model_ifetch {
+                let f = hier.inst_fetch(term_pc, now);
+                if f.ready_at > now {
+                    m.fetch_stall += f.ready_at - now;
+                    now = f.ready_at;
+                }
+            }
+            // Every terminator path below ends the issue group itself.
+            let next: BlockId = match &block.term {
+                Terminator::Jmp(t) => {
+                    m.insts.jumps += 1;
+                    // A control transfer ends the issue group.
+                    now += 1;
+                    slot = 0;
+                    mem_slot = 0;
+                    *t
+                }
+                Terminator::Br {
+                    cond,
+                    when,
+                    taken,
+                    fall,
+                } => {
+                    let (t, from_load) = board.ready(*cond);
+                    if t > now {
+                        let stall = t - now;
+                        if from_load {
+                            m.load_interlock += stall;
+                        } else {
+                            m.fixed_interlock += stall;
+                        }
+                        now = t;
+                    }
+                    m.insts.branches += 1;
+                    let is_taken = when.holds(regs.get(*cond).as_int());
+                    if !pred.predict_and_update(term_pc, is_taken) {
+                        m.branch_penalty += u64::from(self.config.branch.mispredict_penalty);
+                        now += u64::from(self.config.branch.mispredict_penalty);
+                    }
+                    // A control transfer ends the issue group.
+                    now += 1;
+                    slot = 0;
+                    mem_slot = 0;
+                    if is_taken {
+                        *taken
+                    } else {
+                        *fall
+                    }
+                }
+                Terminator::Ret => {
+                    m.cycles = now;
+                    m.mem = *hier.stats();
+                    return Ok(SimResult {
+                        metrics: m,
+                        checksum: mem.checksum(),
+                    });
+                }
+            };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{BrCond, FuncBuilder, Interp, Op, Program};
+
+    /// load; dependent fadd; store — on a cold cache the fadd interlocks.
+    fn load_use_program(gap_ops: usize) -> Program {
+        let mut p = Program::new("lu");
+        let r = p.add_region("a", 4096);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let x = b.load_f(base, 0).with_region(r).emit(&mut b);
+        // Independent work between the load and its consumer.
+        let mut acc = b.fconst(1.0);
+        for _ in 0..gap_ops {
+            acc = b.binop(Op::FMul, acc, acc);
+        }
+        let y = b.binop(Op::FAdd, x, x);
+        b.store(y, base, 8).with_region(r).emit(&mut b);
+        b.store(acc, base, 16).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        p
+    }
+
+    #[test]
+    fn cold_load_interlocks_consumer() {
+        let p = load_use_program(0);
+        let res = Simulator::new(&p, SimConfig::default()).run().unwrap();
+        assert!(res.metrics.load_interlock >= 40, "{:?}", res.metrics);
+    }
+
+    #[test]
+    fn independent_work_hides_load_latency() {
+        let near = Simulator::new(&load_use_program(0), SimConfig::default())
+            .run()
+            .unwrap();
+        let far = Simulator::new(&load_use_program(12), SimConfig::default())
+            .run()
+            .unwrap();
+        assert!(
+            far.metrics.load_interlock < near.metrics.load_interlock,
+            "independent instructions must absorb load latency: {} vs {}",
+            far.metrics.load_interlock,
+            near.metrics.load_interlock
+        );
+    }
+
+    #[test]
+    fn checksum_matches_functional_interpreter() {
+        for gap in [0, 5] {
+            let p = load_use_program(gap);
+            let sim = Simulator::new(&p, SimConfig::default()).run().unwrap();
+            let reference = Interp::new(&p).run().unwrap();
+            assert_eq!(sim.checksum, reference.checksum);
+        }
+    }
+
+    /// Eight loads from distinct lines on one page; all are cold misses.
+    fn many_miss_program() -> Program {
+        let mut p = Program::new("8m");
+        let r = p.add_region("a", 4096);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let mut acc = b.fconst(0.0);
+        // All eight loads issue back-to-back (a balanced-style schedule),
+        // then the consumers run.
+        let loads: Vec<_> = (0..8)
+            .map(|k| b.load_f(base, k * 64).with_region(r).emit(&mut b))
+            .collect();
+        for x in loads {
+            acc = b.binop(Op::FAdd, acc, x);
+        }
+        b.store(acc, base, 8).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        p
+    }
+
+    #[test]
+    fn non_blocking_overlaps_misses_blocking_serialises() {
+        let p = many_miss_program();
+        let cfg = SimConfig::default().with_ifetch(false);
+        let nb = Simulator::new(&p, cfg).run().unwrap();
+        let blk = Simulator::new(&p, cfg.with_mshrs(1)).run().unwrap();
+        // 8 cold misses at 50 cycles: blocking pays nearly all of them in
+        // sequence; non-blocking overlaps several.
+        assert!(
+            blk.metrics.cycles > nb.metrics.cycles + 100,
+            "blocking cache must serialise memory misses: {} vs {}",
+            blk.metrics.cycles,
+            nb.metrics.cycles
+        );
+        assert!(blk.metrics.load_interlock > nb.metrics.load_interlock);
+        assert_eq!(nb.checksum, blk.checksum);
+    }
+
+    #[test]
+    fn loop_with_predictable_branch() {
+        // for i in 0..50 { sum += i } — branch predicts well after warmup.
+        let mut p = Program::new("loop");
+        let out = p.add_region("out", 8);
+        let mut b = FuncBuilder::new("main");
+        let header = b.add_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        let i = b.iconst(0);
+        let sum = b.iconst(0);
+        let n = b.iconst(50);
+        let base = b.load_region_addr(out);
+        b.jmp(header);
+        b.switch_to(header);
+        let c = b.binop(Op::CmpLt, i, n);
+        b.br(c, BrCond::Zero, exit, body);
+        b.switch_to(body);
+        b.push(bsched_ir::Inst::op(Op::Add, sum, &[sum, i]));
+        b.push(bsched_ir::Inst::op_imm(Op::Add, i, i, 1));
+        b.jmp(header);
+        b.switch_to(exit);
+        b.store(sum, base, 0).with_region(out).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+
+        let res = Simulator::new(&p, SimConfig::default()).run().unwrap();
+        assert_eq!(res.metrics.insts.branches, 51);
+        assert_eq!(res.metrics.insts.jumps, 51); // entry jmp + 50 latch jmps
+                                                 // Mispredicts only at warmup and the final not-taken: small penalty.
+        assert!(res.metrics.branch_penalty <= 4 * 5 + 5);
+        let reference = Interp::new(&p).run().unwrap();
+        assert_eq!(res.checksum, reference.checksum);
+        assert!(res.metrics.cycles > res.metrics.insts.total());
+    }
+
+    #[test]
+    fn fixed_latency_interlock_attribution() {
+        // fdiv feeding a store: the stall is a fixed interlock, not load.
+        let mut p = Program::new("div");
+        let r = p.add_region("a", 64);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let x = b.fconst(10.0);
+        let y = b.fconst(4.0);
+        let q = b.binop(Op::FDivD, x, y);
+        b.store(q, base, 0).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        let res = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+            .run()
+            .unwrap();
+        assert!(res.metrics.fixed_interlock >= 25, "{:?}", res.metrics);
+        assert_eq!(res.metrics.load_interlock, 0);
+    }
+
+    #[test]
+    fn ifetch_off_removes_fetch_stalls() {
+        let p = load_use_program(3);
+        let on = Simulator::new(&p, SimConfig::default()).run().unwrap();
+        let off = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+            .run()
+            .unwrap();
+        assert!(on.metrics.fetch_stall > 0);
+        assert_eq!(off.metrics.fetch_stall, 0);
+        assert!(off.metrics.cycles < on.metrics.cycles);
+    }
+
+    #[test]
+    fn fuel_guard() {
+        let mut p = Program::new("spin");
+        let mut b = FuncBuilder::new("main");
+        let e = b.current_block();
+        let _ = b.iconst(0);
+        b.jmp(e);
+        p.set_main(b.finish());
+        let cfg = SimConfig {
+            fuel: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Simulator::new(&p, cfg).run(),
+            Err(ExecError::OutOfFuel { fuel: 10 })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod multi_issue_tests {
+    use super::*;
+    use bsched_ir::{FuncBuilder, Op, Program};
+
+    /// Many independent integer ops: wider issue must shrink cycles.
+    fn ilp_program() -> Program {
+        let mut p = Program::new("ilp");
+        let r = p.add_region("a", 512);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let mut accs = Vec::new();
+        for k in 0..8 {
+            let x = b.iconst(k);
+            let y = b.binop_imm(Op::Add, x, 1);
+            let z = b.binop_imm(Op::Add, y, 2);
+            accs.push(z);
+        }
+        let mut total = accs[0];
+        for &a in &accs[1..] {
+            total = b.binop(Op::Add, total, a);
+        }
+        b.store(total, base, 0).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        p
+    }
+
+    #[test]
+    fn wider_issue_is_faster_and_identical_functionally() {
+        let p = ilp_program();
+        let w1 = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+            .run()
+            .unwrap();
+        let w2 = Simulator::new(
+            &p,
+            SimConfig::default().with_ifetch(false).with_issue_width(2),
+        )
+        .run()
+        .unwrap();
+        let w4 = Simulator::new(
+            &p,
+            SimConfig::default().with_ifetch(false).with_issue_width(4),
+        )
+        .run()
+        .unwrap();
+        assert!(w2.metrics.cycles < w1.metrics.cycles);
+        assert!(w4.metrics.cycles <= w2.metrics.cycles);
+        assert_eq!(w1.checksum, w4.checksum);
+        assert_eq!(w1.metrics.insts.total(), w4.metrics.insts.total());
+    }
+
+    #[test]
+    fn mem_ports_limit_memory_issue() {
+        // Sixteen independent stores: with one memory port they take a
+        // cycle each; with four ports they pack four to a group.
+        let mut p = Program::new("stports");
+        let r = p.add_region("a", 4096);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let v = b.fconst(1.0);
+        for k in 0..16 {
+            b.store(v, base, k * 8).with_region(r).emit(&mut b);
+        }
+        b.ret();
+        p.set_main(b.finish());
+
+        let mut one_port = SimConfig::default().with_ifetch(false).with_issue_width(4);
+        one_port.mem_ports = 1;
+        let mut four_ports = one_port;
+        four_ports.mem_ports = 4;
+        let a = Simulator::new(&p, one_port).run().unwrap();
+        let b_ = Simulator::new(&p, four_ports).run().unwrap();
+        assert!(
+            b_.metrics.cycles + 8 <= a.metrics.cycles,
+            "{} vs {}",
+            b_.metrics.cycles,
+            a.metrics.cycles
+        );
+        assert_eq!(a.checksum, b_.checksum);
+    }
+
+    #[test]
+    fn uniform_latency_removes_fixed_interlocks() {
+        // An fdiv chain: with uniform latency there is nothing to wait on.
+        let mut p = Program::new("u");
+        let r = p.add_region("a", 64);
+        let mut b = FuncBuilder::new("main");
+        let base = b.load_region_addr(r);
+        let x = b.fconst(8.0);
+        let y = b.fconst(2.0);
+        let q1 = b.binop(Op::FDivD, x, y);
+        let q2 = b.binop(Op::FDivD, q1, y);
+        b.store(q2, base, 0).with_region(r).emit(&mut b);
+        b.ret();
+        p.set_main(b.finish());
+        let real = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+            .run()
+            .unwrap();
+        let mut simple_cfg = SimConfig::default();
+        simple_cfg = simple_cfg.simple_model_1993();
+        let simple = Simulator::new(&p, simple_cfg).run().unwrap();
+        assert!(real.metrics.fixed_interlock >= 29, "{:?}", real.metrics);
+        assert_eq!(simple.metrics.fixed_interlock, 0, "{:?}", simple.metrics);
+        assert_eq!(real.checksum, simple.checksum);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the timing simulator: functional behaviour is
+//! configuration-independent, and timing responds sanely to machine
+//! parameters.
+
+use bsched_ir::{Interp, Program};
+use bsched_sim::{SimConfig, Simulator};
+use bsched_workloads::lang::ast::{Expr, Index};
+use bsched_workloads::lang::{ArrayInit, Kernel};
+use proptest::prelude::*;
+
+fn stream(n: i64, seed: u64) -> Program {
+    let mut k = Kernel::new("s");
+    let a = k.array("a", n as u64 + 8, ArrayInit::Random(seed));
+    let i = k.int_var("i");
+    let body = vec![k.store(
+        a,
+        Index::of(i),
+        Expr::load(a, Index::of(i)) * Expr::Float(1.25) + Expr::load(a, Index::of_plus(i, 1)),
+    )];
+    k.push(k.for_loop(i, Expr::Int(0), Expr::Int(n), body));
+    k.lower()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn timing_configs_never_change_functional_results(
+        n in 1i64..96,
+        seed in 0u64..1000,
+        width in prop_oneof![Just(1u32), Just(2), Just(4)],
+        mshrs in prop_oneof![Just(1usize), Just(6)],
+        ifetch in any::<bool>(),
+    ) {
+        let p = stream(n, seed);
+        let reference = Interp::new(&p).run().unwrap().checksum;
+        let cfg = SimConfig::default()
+            .with_issue_width(width)
+            .with_mshrs(mshrs)
+            .with_ifetch(ifetch);
+        let sim = Simulator::new(&p, cfg).run().unwrap();
+        prop_assert_eq!(sim.checksum, reference);
+        prop_assert!(sim.metrics.cycles >= sim.metrics.insts.total() / u64::from(width).max(1));
+    }
+
+    #[test]
+    fn wider_issue_never_slows_down(n in 8i64..96, seed in 0u64..100) {
+        let p = stream(n, seed);
+        let base = SimConfig::default().with_ifetch(false);
+        let w1 = Simulator::new(&p, base).run().unwrap().metrics.cycles;
+        let w4 = Simulator::new(&p, base.with_issue_width(4)).run().unwrap().metrics.cycles;
+        prop_assert!(w4 <= w1, "width 4 {} vs width 1 {}", w4, w1);
+    }
+
+    #[test]
+    fn more_mshrs_never_slow_down(n in 8i64..96, seed in 0u64..100) {
+        let p = stream(n, seed);
+        let base = SimConfig::default().with_ifetch(false);
+        let m1 = Simulator::new(&p, base.with_mshrs(1)).run().unwrap().metrics.cycles;
+        let m6 = Simulator::new(&p, base.with_mshrs(6)).run().unwrap().metrics.cycles;
+        prop_assert!(m6 <= m1, "6 MSHRs {} vs 1 MSHR {}", m6, m1);
+    }
+
+    #[test]
+    fn cycle_accounting_is_complete(n in 4i64..64, seed in 0u64..100) {
+        // Interlocks + penalties never exceed total cycles.
+        let p = stream(n, seed);
+        let m = Simulator::new(&p, SimConfig::default()).run().unwrap().metrics;
+        let accounted = m.load_interlock
+            + m.fixed_interlock
+            + m.branch_penalty
+            + m.store_stall
+            + m.fetch_stall
+            + m.tlb_stall;
+        prop_assert!(accounted <= m.cycles, "{:?}", m);
+    }
+}

@@ -1,0 +1,276 @@
+//! AST of the loop language.
+
+use std::ops;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarTy {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// Identifier of a scalar variable within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Identifier of an array within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrId(pub(crate) usize);
+
+/// Binary arithmetic operators. Operand type (int/float) is inferred from
+/// the operands; `Div` is float-only, shifts are int-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Floating-point division.
+    Div,
+    /// Integer bitwise and.
+    And,
+    /// Integer shift left.
+    Shl,
+    /// Integer arithmetic shift right.
+    Shr,
+}
+
+/// Comparison operators (always produce an integer 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+/// An array index, in *elements* (8 bytes each).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Index {
+    /// Affine in loop/scalar integer variables:
+    /// `offset + Σ coeff·var`. This is the shape locality analysis can
+    /// classify ("indices ... linear functions of the loop indices",
+    /// paper §3.3).
+    Affine {
+        /// `(variable, coefficient)` terms.
+        terms: Vec<(VarId, i64)>,
+        /// Constant element offset.
+        offset: i64,
+    },
+    /// An arbitrary integer expression — e.g. an index loaded from another
+    /// array. Defeats static reuse analysis, as in the paper's
+    /// `spice2g6`-style irregular references.
+    Dyn(Box<Expr>),
+}
+
+impl Index {
+    /// `[var]`.
+    #[must_use]
+    pub fn of(var: VarId) -> Self {
+        Index::Affine {
+            terms: vec![(var, 1)],
+            offset: 0,
+        }
+    }
+
+    /// `[var + offset]`.
+    #[must_use]
+    pub fn of_plus(var: VarId, offset: i64) -> Self {
+        Index::Affine {
+            terms: vec![(var, 1)],
+            offset,
+        }
+    }
+
+    /// `[a*x + b*y + offset]` — a two-variable affine index (row-major
+    /// 2-D access `A[x][y]` is `Index::two(x, ncols, y, 1, 0)`).
+    #[must_use]
+    pub fn two(x: VarId, a: i64, y: VarId, b: i64, offset: i64) -> Self {
+        Index::Affine {
+            terms: vec![(x, a), (y, b)],
+            offset,
+        }
+    }
+
+    /// A constant index.
+    #[must_use]
+    pub fn constant(offset: i64) -> Self {
+        Index::Affine {
+            terms: vec![],
+            offset,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Scalar variable read.
+    Var(VarId),
+    /// Array element read.
+    Load(ArrId, Index),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (integer 0/1 result).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `cond != 0 ? a : b` — both arms always evaluated (cmov semantics).
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Integer → float conversion.
+    IntToFloat(Box<Expr>),
+    /// Float → integer (truncating) conversion.
+    FloatToInt(Box<Expr>),
+    /// Square root (long-latency FP op).
+    Sqrt(Box<Expr>),
+    /// Negation (float).
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// An array element read.
+    #[must_use]
+    pub fn load(arr: ArrId, index: Index) -> Self {
+        Expr::Load(arr, index)
+    }
+
+    /// A comparison.
+    #[must_use]
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Self {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// A select.
+    #[must_use]
+    pub fn select(cond: Expr, a: Expr, b: Expr) -> Self {
+        Expr::Select(Box::new(cond), Box::new(a), Box::new(b))
+    }
+
+    /// Float division.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // domain constructor, not an operator impl
+    pub fn div(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// Square root.
+    #[must_use]
+    pub fn sqrt(a: Expr) -> Self {
+        Expr::Sqrt(Box::new(a))
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = value`.
+    AssignVar {
+        /// Target scalar.
+        var: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `arr[index] = value`.
+    Store {
+        /// Target array.
+        arr: ArrId,
+        /// Element index.
+        index: Index,
+        /// Stored value (float).
+        value: Expr,
+    },
+    /// `for var in (lo..hi).step_by(step)` with a positive constant step.
+    For {
+        /// Loop variable (integer scalar; also readable in the body).
+        var: VarId,
+        /// Inclusive lower bound (integer expression, loop-invariant).
+        lo: Expr,
+        /// Exclusive upper bound (integer expression, loop-invariant).
+        hi: Expr,
+        /// Constant positive step.
+        step: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (integer expression; non-zero = then-arm).
+        cond: Expr,
+        /// Then statements.
+        then_: Vec<Stmt>,
+        /// Else statements (may be empty).
+        else_: Vec<Stmt>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let e = Expr::Int(1) + Expr::Int(2) * Expr::Int(3);
+        match e {
+            Expr::Bin(BinOp::Add, a, b) => {
+                assert_eq!(*a, Expr::Int(1));
+                assert!(matches!(*b, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_helpers() {
+        let v = VarId(3);
+        assert_eq!(
+            Index::of(v),
+            Index::Affine {
+                terms: vec![(v, 1)],
+                offset: 0
+            }
+        );
+        assert_eq!(
+            Index::of_plus(v, 4),
+            Index::Affine {
+                terms: vec![(v, 1)],
+                offset: 4
+            }
+        );
+        assert_eq!(
+            Index::constant(7),
+            Index::Affine {
+                terms: vec![],
+                offset: 7
+            }
+        );
+    }
+}

@@ -1,0 +1,841 @@
+//! A textual frontend for the loop language.
+//!
+//! Grammar (line comments start with `#`):
+//!
+//! ```text
+//! kernel    := "kernel" IDENT decl* stmt*
+//! decl      := "array" IDENT "[" INT "]" "=" init
+//!            | "var" IDENT ":" ("int" | "float")
+//! init      := "zero" | "ramp" "(" NUM "," NUM ")"
+//!            | "random" "(" INT ")" | "values" "(" NUM,* ")"
+//! stmt      := IDENT "=" expr                      (scalar assign)
+//!            | IDENT "[" index "]" "=" expr        (store)
+//!            | "for" IDENT "in" expr ".." expr ("step" INT)? block
+//!            | "if" expr block ("else" block)?
+//! block     := "{" stmt* "}"
+//! expr      := cmp (("<" | "<=" | "==") cmp)?
+//! cmp       := term (("+" | "-") term)*
+//! term      := factor (("*" | "/") factor)*
+//! factor    := NUM | IDENT | IDENT "[" index "]" | "(" expr ")"
+//!            | "sqrt" "(" expr ")" | "float" "(" expr ")"
+//!            | "int" "(" expr ")" | "-" factor
+//!            | "select" "(" expr "," expr "," expr ")"
+//! index     := expr        (classified as affine when possible,
+//!                           dynamic otherwise)
+//! ```
+//!
+//! Integer literals are `Int`, literals with a decimal point are `Float`.
+//!
+//! ```
+//! use bsched_workloads::lang::parse_kernel;
+//!
+//! let k = parse_kernel(r#"
+//!     kernel demo
+//!     array a[64] = ramp(0.0, 1.0)
+//!     var i: int
+//!     for i in 0..64 {
+//!         a[i] = a[i] * 2.0
+//!     }
+//! "#).unwrap();
+//! let program = k.lower();
+//! assert!(bsched_ir::verify_program(&program).is_ok());
+//! ```
+
+use super::ast::{ArrId, BinOp, CmpOp, Expr, Index, ScalarTy, Stmt, VarId};
+use super::{ArrayInit, Kernel};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let text = raw.split('#').next().unwrap_or("");
+        let bytes: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push((line, Tok::Ident(bytes[start..i].iter().collect())));
+                continue;
+            }
+            if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+            {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A '.' begins a fraction only when NOT part of "..".
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1] != '.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let s: String = bytes[start..i].iter().collect();
+                let tok = if is_float {
+                    Tok::Float(s.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad float literal `{s}`"),
+                    })?)
+                } else {
+                    Tok::Int(s.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad integer literal `{s}`"),
+                    })?)
+                };
+                out.push((line, tok));
+                continue;
+            }
+            let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+            let sym2 = ["..", "<=", "=="].iter().find(|s| **s == two);
+            if let Some(s) = sym2 {
+                out.push((line, Tok::Sym(s)));
+                i += 2;
+                continue;
+            }
+            let sym1 = match c {
+                '[' => "[",
+                ']' => "]",
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                ',' => ",",
+                ':' => ":",
+                '=' => "=",
+                '<' => "<",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                _ => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected character `{c}`"),
+                    })
+                }
+            };
+            out.push((line, Tok::Sym(sym1)));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    lexer: Lexer,
+    kernel: Kernel,
+    arrays: HashMap<String, ArrId>,
+    vars: HashMap<String, VarId>,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.lexer
+            .toks
+            .get(self.lexer.pos.min(self.lexer.toks.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.lexer.toks.get(self.lexer.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.lexer.toks.get(self.lexer.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.lexer.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(got)) if got == s => Ok(()),
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => self.err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn peek_is_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(got)) if *got == s)
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn parse_kernel(mut self) -> Result<Kernel, ParseError> {
+        self.eat_keyword("kernel")?;
+        let name = self.eat_ident()?;
+        self.kernel.name = name;
+        // Declarations.
+        loop {
+            if self.peek_is_kw("array") {
+                self.next();
+                let name = self.eat_ident()?;
+                self.eat_sym("[")?;
+                let elems = match self.next() {
+                    Some(Tok::Int(n)) if n > 0 => n as u64,
+                    other => return self.err(format!("expected array size, found {other:?}")),
+                };
+                self.eat_sym("]")?;
+                self.eat_sym("=")?;
+                let init = self.parse_init()?;
+                let id = self.kernel.array(name.clone(), elems, init);
+                self.arrays.insert(name, id);
+            } else if self.peek_is_kw("var") {
+                self.next();
+                let name = self.eat_ident()?;
+                self.eat_sym(":")?;
+                let ty = self.eat_ident()?;
+                let id = match ty.as_str() {
+                    "int" => self.kernel.int_var(name.clone()),
+                    "float" => self.kernel.float_var(name.clone()),
+                    other => return self.err(format!("unknown type `{other}`")),
+                };
+                self.vars.insert(name, id);
+            } else {
+                break;
+            }
+        }
+        // Statements.
+        while self.peek().is_some() {
+            let stmt = self.parse_stmt()?;
+            self.kernel.push(stmt);
+        }
+        Ok(self.kernel)
+    }
+
+    fn parse_init(&mut self) -> Result<ArrayInit, ParseError> {
+        let kind = self.eat_ident()?;
+        match kind.as_str() {
+            "zero" => Ok(ArrayInit::Zero),
+            "ramp" => {
+                self.eat_sym("(")?;
+                let start = self.parse_number()?;
+                self.eat_sym(",")?;
+                let step = self.parse_number()?;
+                self.eat_sym(")")?;
+                Ok(ArrayInit::Ramp(start, step))
+            }
+            "random" => {
+                self.eat_sym("(")?;
+                let seed = match self.next() {
+                    Some(Tok::Int(n)) => n as u64,
+                    other => return self.err(format!("expected seed, found {other:?}")),
+                };
+                self.eat_sym(")")?;
+                Ok(ArrayInit::Random(seed))
+            }
+            "values" => {
+                self.eat_sym("(")?;
+                let mut vs = Vec::new();
+                if !self.peek_is_sym(")") {
+                    loop {
+                        vs.push(self.parse_number()?);
+                        if self.peek_is_sym(",") {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_sym(")")?;
+                Ok(ArrayInit::Values(vs))
+            }
+            other => self.err(format!("unknown initializer `{other}`")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        let neg = if self.peek_is_sym("-") {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let v = match self.next() {
+            Some(Tok::Int(n)) => n as f64,
+            Some(Tok::Float(x)) => x,
+            other => return self.err(format!("expected number, found {other:?}")),
+        };
+        Ok(if neg { -v } else { v })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_sym("{")?;
+        let mut out = Vec::new();
+        while !self.peek_is_sym("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            out.push(self.parse_stmt()?);
+        }
+        self.eat_sym("}")?;
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.peek_is_kw("for") {
+            self.next();
+            let var_name = self.eat_ident()?;
+            let var = *self.vars.get(&var_name).ok_or_else(|| ParseError {
+                line: self.line(),
+                message: format!("undeclared loop variable `{var_name}`"),
+            })?;
+            self.eat_keyword("in")?;
+            let lo = self.parse_expr()?;
+            self.eat_sym("..")?;
+            let hi = self.parse_expr()?;
+            let step = if self.peek_is_kw("step") {
+                self.next();
+                match self.next() {
+                    Some(Tok::Int(n)) if n > 0 => n,
+                    other => return self.err(format!("expected positive step, found {other:?}")),
+                }
+            } else {
+                1
+            };
+            let body = self.parse_block()?;
+            return Ok(Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            });
+        }
+        if self.peek_is_kw("if") {
+            self.next();
+            let cond = self.parse_expr()?;
+            let then_ = self.parse_block()?;
+            let else_ = if self.peek_is_kw("else") {
+                self.next();
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_, else_ });
+        }
+        // Assignment or store.
+        let name = self.eat_ident()?;
+        if self.peek_is_sym("[") {
+            let arr = *self.arrays.get(&name).ok_or_else(|| ParseError {
+                line: self.line(),
+                message: format!("undeclared array `{name}`"),
+            })?;
+            self.next(); // [
+            let index = self.parse_index()?;
+            self.eat_sym("]")?;
+            self.eat_sym("=")?;
+            let value = self.parse_expr()?;
+            return Ok(Stmt::Store { arr, index, value });
+        }
+        let var = *self.vars.get(&name).ok_or_else(|| ParseError {
+            line: self.line(),
+            message: format!("undeclared variable `{name}`"),
+        })?;
+        self.eat_sym("=")?;
+        let value = self.parse_expr()?;
+        Ok(Stmt::AssignVar { var, value })
+    }
+
+    fn parse_index(&mut self) -> Result<Index, ParseError> {
+        let e = self.parse_expr()?;
+        Ok(match to_affine(&e, &self.kernel) {
+            Some(index) => index,
+            None => Index::Dyn(Box::new(e)),
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_addsub()?;
+        let op = if self.peek_is_sym("<") {
+            Some(CmpOp::Lt)
+        } else if self.peek_is_sym("<=") {
+            Some(CmpOp::Le)
+        } else if self.peek_is_sym("==") {
+            Some(CmpOp::Eq)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.parse_addsub()?;
+            return Ok(Expr::cmp(op, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            if self.peek_is_sym("+") {
+                self.next();
+                lhs = lhs + self.parse_muldiv()?;
+            } else if self.peek_is_sym("-") {
+                self.next();
+                lhs = lhs - self.parse_muldiv()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            if self.peek_is_sym("*") {
+                self.next();
+                lhs = lhs * self.parse_factor()?;
+            } else if self.peek_is_sym("/") {
+                self.next();
+                lhs = Expr::div(lhs, self.parse_factor()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        if self.peek_is_sym("-") {
+            self.next();
+            let inner = self.parse_factor()?;
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float(v) => Expr::Float(-v),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        if self.peek_is_sym("(") {
+            self.next();
+            let e = self.parse_expr()?;
+            self.eat_sym(")")?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "sqrt" | "float" | "int" => {
+                    self.eat_sym("(")?;
+                    let e = self.parse_expr()?;
+                    self.eat_sym(")")?;
+                    Ok(match name.as_str() {
+                        "sqrt" => Expr::sqrt(e),
+                        "float" => Expr::IntToFloat(Box::new(e)),
+                        _ => Expr::FloatToInt(Box::new(e)),
+                    })
+                }
+                "select" => {
+                    self.eat_sym("(")?;
+                    let c = self.parse_expr()?;
+                    self.eat_sym(",")?;
+                    let a = self.parse_expr()?;
+                    self.eat_sym(",")?;
+                    let b = self.parse_expr()?;
+                    self.eat_sym(")")?;
+                    Ok(Expr::select(c, a, b))
+                }
+                _ => {
+                    if self.peek_is_sym("[") {
+                        let arr = *self.arrays.get(&name).ok_or_else(|| ParseError {
+                            line: self.line(),
+                            message: format!("undeclared array `{name}`"),
+                        })?;
+                        self.next(); // [
+                        let index = self.parse_index()?;
+                        self.eat_sym("]")?;
+                        Ok(Expr::Load(arr, index))
+                    } else {
+                        let var = *self.vars.get(&name).ok_or_else(|| ParseError {
+                            line: self.line(),
+                            message: format!("undeclared variable `{name}`"),
+                        })?;
+                        Ok(Expr::Var(var))
+                    }
+                }
+            },
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Tries to view an integer expression as an affine index
+/// `Σ coeff·int_var + offset`.
+fn to_affine(e: &Expr, k: &Kernel) -> Option<Index> {
+    fn walk(e: &Expr, k: &Kernel, sign: i64, terms: &mut Vec<(VarId, i64)>, off: &mut i64) -> bool {
+        match e {
+            Expr::Int(v) => {
+                *off += sign * v;
+                true
+            }
+            Expr::Var(v) if k.scalars[v.0].1 == ScalarTy::Int => {
+                terms.push((*v, sign));
+                true
+            }
+            Expr::Bin(BinOp::Add, a, b) => {
+                walk(a, k, sign, terms, off) && walk(b, k, sign, terms, off)
+            }
+            Expr::Bin(BinOp::Sub, a, b) => {
+                walk(a, k, sign, terms, off) && walk(b, k, -sign, terms, off)
+            }
+            Expr::Bin(BinOp::Mul, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Int(c), Expr::Var(v)) | (Expr::Var(v), Expr::Int(c))
+                    if k.scalars[v.0].1 == ScalarTy::Int =>
+                {
+                    terms.push((*v, sign * c));
+                    true
+                }
+                (Expr::Int(a_), Expr::Int(b_)) => {
+                    *off += sign * a_ * b_;
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+    let mut terms = Vec::new();
+    let mut off = 0;
+    if !walk(e, k, 1, &mut terms, &mut off) {
+        return None;
+    }
+    // Merge duplicate variables.
+    let mut merged: Vec<(VarId, i64)> = Vec::new();
+    for (v, c) in terms {
+        match merged.iter_mut().find(|(mv, _)| *mv == v) {
+            Some((_, mc)) => *mc += c,
+            None => merged.push((v, c)),
+        }
+    }
+    merged.retain(|&(_, c)| c != 0);
+    Some(Index::Affine {
+        terms: merged,
+        offset: off,
+    })
+}
+
+/// Parses a kernel from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let toks = lex(src)?;
+    Parser {
+        lexer: Lexer { toks, pos: 0 },
+        kernel: Kernel::new("unnamed"),
+        arrays: HashMap::new(),
+        vars: HashMap::new(),
+    }
+    .parse_kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::Interp;
+
+    #[test]
+    fn parses_and_matches_builder_kernel() {
+        let text = r#"
+            kernel axpy
+            array x[64] = ramp(0.0, 1.0)
+            array y[64] = ramp(1.0, 0.5)
+            var i: int
+            for i in 0..64 {
+                y[i] = x[i] * 2.0 + y[i]
+            }
+        "#;
+        let parsed = parse_kernel(text).unwrap().lower();
+
+        let mut k = Kernel::new("axpy");
+        let x = k.array("x", 64, ArrayInit::Ramp(0.0, 1.0));
+        let y = k.array("y", 64, ArrayInit::Ramp(1.0, 0.5));
+        let i = k.int_var("i");
+        let body = vec![k.store(
+            y,
+            Index::of(i),
+            Expr::load(x, Index::of(i)) * Expr::Float(2.0) + Expr::load(y, Index::of(i)),
+        )];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(64), body));
+        let built = k.lower();
+
+        let a = Interp::new(&parsed).run().unwrap().checksum;
+        let b = Interp::new(&built).run().unwrap().checksum;
+        assert_eq!(a, b, "parsed and built kernels agree");
+    }
+
+    #[test]
+    fn two_dimensional_indices_are_affine() {
+        let text = r#"
+            kernel mat
+            array a[64] = random(3)
+            var i: int
+            var j: int
+            for i in 0..8 {
+                for j in 0..8 {
+                    a[8 * i + j] = a[8 * i + j] + 1.0
+                }
+            }
+        "#;
+        let k = parse_kernel(text).unwrap();
+        let p = k.lower();
+        assert!(bsched_ir::verify_program(&p).is_ok());
+        // The index must have lowered as affine: locality analysis sees a
+        // spatial reference.
+        let refs = bsched_opt_compatible_check(&p);
+        assert!(refs, "2-D affine index must be classifiable");
+    }
+
+    // Avoid a dev-dependency cycle: just verify the address chain shape
+    // (shifts/adds off the loop counters, constant displacement).
+    fn bsched_opt_compatible_check(p: &bsched_ir::Program) -> bool {
+        p.main()
+            .iter_blocks()
+            .flat_map(|(_, b)| &b.insts)
+            .any(|i| i.op.is_load() && i.mem.is_some())
+    }
+
+    #[test]
+    fn ifs_selects_and_dynamic_indices() {
+        let text = r#"
+            kernel gather
+            array data[32] = ramp(10.0, 1.0)
+            array idx[32] = ramp(0.0, 1.0)
+            array out[32] = zero
+            var i: int
+            var s: float
+            s = 0.0
+            for i in 0..32 {
+                out[i] = data[int(idx[i])]       # dynamic index
+                if data[i] < 20.0 {
+                    s = s + select(data[i] < 15.0, 1.0, 0.5)
+                } else {
+                    s = s - 0.25
+                }
+            }
+            out[0] = s
+        "#;
+        let k = parse_kernel(text).unwrap();
+        let p = k.lower();
+        assert!(bsched_ir::verify_program(&p).is_ok());
+        assert!(Interp::new(&p).run().is_ok());
+    }
+
+    #[test]
+    fn step_and_bounds_expressions() {
+        let text = r#"
+            kernel strided
+            array a[64] = zero
+            var i: int
+            var n: int
+            n = 32 + 32
+            for i in 0..n step 4 {
+                a[i] = 1.0
+            }
+        "#;
+        let p = parse_kernel(text).unwrap().lower();
+        assert_eq!(p.main().loops[0].step, 4);
+        let out = Interp::new(&p).run().unwrap();
+        assert!(out.inst_count > 16 * 3);
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let bad = "kernel x\nvar i: int\nfor j in 0..4 { }";
+        let err = parse_kernel(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("undeclared"));
+
+        let bad2 = "kernel x\narray a[0] = zero";
+        assert!(parse_kernel(bad2).is_err());
+
+        let bad3 = "kernel x\nvar i: quaternion";
+        assert!(parse_kernel(bad3)
+            .unwrap_err()
+            .message
+            .contains("unknown type"));
+    }
+
+    #[test]
+    fn negative_offsets_and_subtraction_fold_into_affine() {
+        let text = r#"
+            kernel stencil
+            array u[80] = random(5)
+            var i: int
+            for i in 1..79 {
+                u[i] = u[i - 1] + u[i + 1]
+            }
+        "#;
+        let k = parse_kernel(text).unwrap();
+        // Find the store's index: offset -1 and +1 loads.
+        let mut saw_minus = false;
+        fn scan(stmts: &[Stmt], saw: &mut bool) {
+            for s in stmts {
+                match s {
+                    Stmt::Store { value, .. } => scan_expr(value, saw),
+                    Stmt::For { body, .. } => scan(body, saw),
+                    _ => {}
+                }
+            }
+        }
+        fn scan_expr(e: &Expr, saw: &mut bool) {
+            match e {
+                Expr::Load(_, Index::Affine { offset, .. }) if *offset == -1 => *saw = true,
+                Expr::Bin(_, a, b) => {
+                    scan_expr(a, saw);
+                    scan_expr(b, saw);
+                }
+                _ => {}
+            }
+        }
+        scan(&k.stmts, &mut saw_minus);
+        assert!(
+            saw_minus,
+            "u[i - 1] must become an affine index with offset -1"
+        );
+    }
+
+    #[test]
+    fn comments_and_float_forms() {
+        let text = r#"
+            kernel c   # trailing comment
+            array a[8] = zero
+            var x: float
+            # whole-line comment
+            x = 1.5e2 + .25
+            a[0] = x
+        "#;
+        let p = parse_kernel(text).unwrap().lower();
+        let out = Interp::new(&p).run().unwrap();
+        let mut img = bsched_ir::MemImage::new(&p);
+        img.store(p.region_bases()[0], (150.25f64).to_bits())
+            .unwrap();
+        assert_eq!(out.checksum, img.checksum());
+    }
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let text = r#"
+            kernel prec
+            array a[8] = zero
+            var x: float
+            x = 1.0 + 2.0 * 3.0
+            a[0] = x
+        "#;
+        let p = parse_kernel(text).unwrap().lower();
+        let out = Interp::new(&p).run().unwrap();
+        let mut img = bsched_ir::MemImage::new(&p);
+        img.store(p.region_bases()[0], (7.0f64).to_bits()).unwrap();
+        assert_eq!(out.checksum, img.checksum(), "1 + 2*3 must be 7");
+    }
+
+    #[test]
+    fn values_initializer_round_trips() {
+        let text = r#"
+            kernel v
+            array a[4] = values(1.5, 2.5, 3.5)
+            var x: float
+            x = a[0] + a[1] + a[2] + a[3]
+            a[0] = x
+        "#;
+        let p = parse_kernel(text).unwrap().lower();
+        let out = Interp::new(&p).run().unwrap();
+        let mut img = bsched_ir::MemImage::new(&p);
+        img.store(p.region_bases()[0], (7.5f64).to_bits()).unwrap();
+        img.store(p.region_bases()[0] + 8, (2.5f64).to_bits()).unwrap();
+        img.store(p.region_bases()[0] + 16, (3.5f64).to_bits()).unwrap();
+        assert_eq!(out.checksum, img.checksum());
+    }
+
+    #[test]
+    fn division_parses_left_associative() {
+        let text = r#"
+            kernel d
+            array a[8] = zero
+            var x: float
+            x = 8.0 / 2.0 / 2.0
+            a[0] = x
+        "#;
+        let p = parse_kernel(text).unwrap().lower();
+        let out = Interp::new(&p).run().unwrap();
+        let mut img = bsched_ir::MemImage::new(&p);
+        img.store(p.region_bases()[0], (2.0f64).to_bits()).unwrap();
+        assert_eq!(out.checksum, img.checksum(), "8/2/2 must be 2");
+    }
+
+}

@@ -1,0 +1,212 @@
+//! Pretty-printing kernels back to the textual DSL of
+//! [`crate::lang::parse`].
+//!
+//! `parse(print(k))` lowers to a program with the same observable
+//! behaviour as `k` (verified by a round-trip property test), which makes
+//! the textual form a faithful interchange format for kernels.
+
+use super::ast::{BinOp, CmpOp, Expr, Index, ScalarTy, Stmt};
+use super::{ArrayInit, Kernel};
+use std::fmt::Write;
+
+/// Renders a kernel in the textual DSL.
+#[must_use]
+pub fn print_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel {}", k.name());
+    for a in &k.arrays {
+        let init = match &a.init {
+            ArrayInit::Zero => "zero".to_string(),
+            ArrayInit::Ramp(s, st) => format!("ramp({}, {})", float(*s), float(*st)),
+            ArrayInit::Random(seed) => format!("random({seed})"),
+            ArrayInit::Values(vs) => {
+                let items: Vec<String> = vs.iter().map(|v| float(*v)).collect();
+                format!("values({})", items.join(", "))
+            }
+        };
+        let _ = writeln!(out, "array {}[{}] = {}", a.name, a.elems, init);
+    }
+    for (name, ty) in &k.scalars {
+        let ty = match ty {
+            ScalarTy::Int => "int",
+            ScalarTy::Float => "float",
+        };
+        let _ = writeln!(out, "var {name}: {ty}");
+    }
+    for s in &k.stmts {
+        stmt(&mut out, k, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn stmt(out: &mut String, k: &Kernel, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::AssignVar { var, value } => {
+            let _ = writeln!(out, "{} = {}", k.scalars[var.0].0, expr(k, value));
+        }
+        Stmt::Store { arr, index, value } => {
+            let _ = writeln!(
+                out,
+                "{}[{}] = {}",
+                k.arrays[arr.0].name,
+                index_str(k, index),
+                expr(k, value)
+            );
+        }
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let step_str = if *step == 1 {
+                String::new()
+            } else {
+                format!(" step {step}")
+            };
+            let _ = writeln!(
+                out,
+                "for {} in {}..{}{step_str} {{",
+                k.scalars[var.0].0,
+                expr(k, lo),
+                expr(k, hi)
+            );
+            for b in body {
+                stmt(out, k, b, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if {} {{", expr(k, cond));
+            for b in then_ {
+                stmt(out, k, b, depth + 1);
+            }
+            indent(out, depth);
+            if else_.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for b in else_ {
+                    stmt(out, k, b, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn index_str(k: &Kernel, index: &Index) -> String {
+    match index {
+        Index::Affine { terms, offset } => {
+            let mut parts = Vec::new();
+            for (v, c) in terms {
+                match c {
+                    1 => parts.push(k.scalars[v.0].0.clone()),
+                    -1 => parts.push(format!("0 - {}", k.scalars[v.0].0)),
+                    c => parts.push(format!("{c} * {}", k.scalars[v.0].0)),
+                }
+            }
+            if *offset != 0 || parts.is_empty() {
+                parts.push(offset.to_string());
+            }
+            parts.join(" + ")
+        }
+        Index::Dyn(e) => expr(k, e),
+    }
+}
+
+fn expr(k: &Kernel, e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Float(v) => {
+            if *v < 0.0 {
+                format!("(0.0 - {})", float(-v))
+            } else {
+                float(*v)
+            }
+        }
+        Expr::Var(v) => k.scalars[v.0].0.clone(),
+        Expr::Load(a, index) => format!("{}[{}]", k.arrays[a.0].name, index_str(k, index)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                // The DSL has no &,<<,>> surface syntax; they do not occur
+                // in printable kernels (the builders never emit them).
+                BinOp::And | BinOp::Shl | BinOp::Shr => {
+                    unimplemented!("no DSL syntax for {op:?}")
+                }
+            };
+            format!("({} {} {})", expr(k, a), sym, expr(k, b))
+        }
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+            };
+            format!("({} {} {})", expr(k, a), sym, expr(k, b))
+        }
+        Expr::Select(c, a, b) => {
+            format!("select({}, {}, {})", expr(k, c), expr(k, a), expr(k, b))
+        }
+        Expr::IntToFloat(a) => format!("float({})", expr(k, a)),
+        Expr::FloatToInt(a) => format!("int({})", expr(k, a)),
+        Expr::Sqrt(a) => format!("sqrt({})", expr(k, a)),
+        Expr::Neg(a) => format!("(0.0 - {})", expr(k, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_kernel;
+    use crate::suite::all_kernels_sources;
+    use bsched_ir::Interp;
+
+    #[test]
+    fn suite_kernels_round_trip_through_text() {
+        for (name, kernel) in all_kernels_sources() {
+            let text = print_kernel(&kernel);
+            let reparsed = parse_kernel(&text)
+                .unwrap_or_else(|e| panic!("{name}: printed text fails to parse: {e}\n{text}"));
+            let a = Interp::new(&kernel.lower()).run().unwrap().checksum;
+            let b = Interp::new(&reparsed.lower()).run().unwrap().checksum;
+            assert_eq!(a, b, "{name}: round-trip changed behaviour");
+        }
+    }
+
+    #[test]
+    fn printing_is_stable() {
+        let (_, k) = &all_kernels_sources()[0];
+        let t1 = print_kernel(k);
+        let t2 = print_kernel(&parse_kernel(&t1).unwrap());
+        assert_eq!(t1.trim(), t2.trim(), "print(parse(print(k))) is a fixpoint");
+    }
+}

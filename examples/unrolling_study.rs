@@ -1,0 +1,53 @@
+//! Unrolling study: how loop unrolling interacts with balanced vs
+//! traditional scheduling on one paper kernel — a miniature of the
+//! paper's Tables 4 and 5.
+//!
+//! ```sh
+//! cargo run --release --example unrolling_study [kernel-name]
+//! ```
+
+use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::workloads::kernel_by_name;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ARC2D".to_string());
+    let spec = kernel_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel {name}; try ARC2D, hydro2d, tomcatv, su2cor, ...");
+        std::process::exit(1);
+    });
+    let program = spec.program();
+    println!(
+        "{}: {}\nshape: {}\n",
+        spec.name, spec.description, spec.shape
+    );
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "unroll", "BS cycles", "TS cycles", "BS:TS", "BS load-stall", "TS load-stall"
+    );
+    for unroll in [None, Some(4), Some(8)] {
+        let mut bs_opts = CompileOptions::new(SchedulerKind::Balanced);
+        let mut ts_opts = CompileOptions::new(SchedulerKind::Traditional);
+        bs_opts.unroll = unroll;
+        ts_opts.unroll = unroll;
+        let bs = compile_and_run(&program, &bs_opts).expect("balanced pipeline");
+        let ts = compile_and_run(&program, &ts_opts).expect("traditional pipeline");
+        println!(
+            "{:<8} {:>12} {:>12} {:>9.2} {:>13.1}% {:>13.1}%",
+            unroll.map_or("none".to_string(), |f| format!("x{f}")),
+            bs.metrics.cycles,
+            ts.metrics.cycles,
+            bs.metrics.speedup_over(&ts.metrics),
+            bs.metrics.load_interlock_fraction() * 100.0,
+            ts.metrics.load_interlock_fraction() * 100.0,
+        );
+    }
+    println!(
+        "\nThe paper's observation: unrolling exposes more load-level\n\
+         parallelism, which balanced scheduling converts into hidden load\n\
+         latency while traditional scheduling leaves it on the table\n\
+         (Table 5; speedups 1.05 -> 1.12 -> 1.18 on their workload)."
+    );
+}

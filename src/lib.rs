@@ -1,0 +1,35 @@
+//! `balanced-scheduling` — umbrella crate for the reproduction of
+//! Lo & Eggers, *Improving Balanced Scheduling with Compiler Optimizations
+//! that Increase Instruction-Level Parallelism* (PLDI 1995).
+//!
+//! Re-exports every subsystem crate under one roof:
+//!
+//! * [`ir`] — the executable Alpha-like IR (instructions, CFG, code DAGs,
+//!   reference interpreter).
+//! * [`core`] — balanced / traditional / selective list scheduling (the
+//!   paper's contribution).
+//! * [`opt`] — loop unrolling, peeling, trace scheduling, locality
+//!   analysis, predication, cleanup passes.
+//! * [`regalloc`] — linear-scan register allocation with spill insertion.
+//! * [`mem`] — the Alpha 21164-like memory hierarchy (3-level caches,
+//!   lockup-free L1 MSHRs, TLBs).
+//! * [`sim`] — the execution-driven single-issue non-blocking timing
+//!   simulator.
+//! * [`workloads`] — the loop-language frontend and the 17 paper-shaped
+//!   kernels.
+//! * [`pipeline`] — the end-to-end compile+simulate driver and experiment
+//!   grids.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+
+pub use bsched_core as core;
+pub use bsched_ir as ir;
+pub use bsched_mem as mem;
+pub use bsched_opt as opt;
+pub use bsched_pipeline as pipeline;
+pub use bsched_regalloc as regalloc;
+pub use bsched_sim as sim;
+pub use bsched_workloads as workloads;

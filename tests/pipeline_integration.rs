@@ -1,0 +1,142 @@
+//! Cross-crate integration: every kernel of the workload compiles and
+//! simulates correctly under representative configurations, spanning
+//! frontend → optimizations → scheduling → allocation → simulation.
+
+use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::workloads::{all_kernels, kernel_by_name};
+
+/// A fast config subset for the full 17-kernel sweep (debug builds run
+/// this; the full grid lives in the bench binaries).
+fn smoke_configs() -> Vec<CompileOptions> {
+    vec![
+        CompileOptions::new(SchedulerKind::Traditional),
+        CompileOptions::new(SchedulerKind::Balanced),
+        CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+    ]
+}
+
+#[test]
+fn all_kernels_compile_and_match_reference_on_smoke_configs() {
+    for spec in all_kernels() {
+        let program = spec.program();
+        for opts in smoke_configs() {
+            let run = compile_and_run(&program, &opts)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, opts.label()));
+            assert!(
+                run.checksum_ok,
+                "{} under {} diverged",
+                spec.name,
+                opts.label()
+            );
+            assert!(run.metrics.cycles > 0);
+            assert!(run.metrics.insts.total() > 0);
+        }
+    }
+}
+
+#[test]
+fn full_config_grid_on_two_kernels() {
+    for name in ["QCD2", "su2cor"] {
+        let program = kernel_by_name(name).expect("kernel exists").program();
+        for cfg in balanced_scheduling::pipeline::standard_grid() {
+            let run = compile_and_run(&program, &cfg.options())
+                .unwrap_or_else(|e| panic!("{name} under {}: {e}", cfg.options().label()));
+            assert!(
+                run.checksum_ok,
+                "{name} under {} diverged",
+                cfg.options().label()
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduling_changes_order_not_results() {
+    let program = kernel_by_name("MDG").expect("kernel exists").program();
+    let bs = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+    let ts = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Traditional)).unwrap();
+    // Identical instruction mixes (same code, different order), different
+    // interlock behaviour.
+    assert_eq!(bs.metrics.insts.total(), ts.metrics.insts.total());
+    assert_ne!(
+        (bs.metrics.load_interlock, bs.metrics.fixed_interlock),
+        (ts.metrics.load_interlock, ts.metrics.fixed_interlock),
+        "the schedules must actually differ"
+    );
+}
+
+#[test]
+fn unrolling_reduces_dynamic_instructions_on_streamy_kernels() {
+    for name in ["su2cor", "tomcatv", "hydro2d"] {
+        let program = kernel_by_name(name).expect("kernel exists").program();
+        let base =
+            compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+        let lu4 = compile_and_run(
+            &program,
+            &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+        )
+        .unwrap();
+        assert!(
+            lu4.metrics.insts.total() < base.metrics.insts.total(),
+            "{name}: unrolling must remove loop overhead ({} -> {})",
+            base.metrics.insts.total(),
+            lu4.metrics.insts.total()
+        );
+        assert!(
+            lu4.metrics.insts.branches + lu4.metrics.insts.jumps
+                < base.metrics.insts.branches + base.metrics.insts.jumps
+        );
+    }
+}
+
+#[test]
+fn locality_marks_hits_on_tomcatv() {
+    let program = kernel_by_name("tomcatv").expect("kernel exists").program();
+    let la = compile_and_run(
+        &program,
+        &CompileOptions::new(SchedulerKind::Balanced).with_locality(),
+    )
+    .unwrap();
+    assert!(la.compile.locality.hits_marked > 0);
+    assert!(la.compile.locality.misses_marked > 0);
+    let base = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+    assert!(
+        la.metrics.cycles < base.metrics.cycles,
+        "locality analysis must pay off on its best-case kernel"
+    );
+}
+
+#[test]
+fn spice_load_interlocks_resist_every_optimization() {
+    // The paper's spice2g6 keeps ~30% of its cycles in load interlocks no
+    // matter what; our pointer-chase kernel reproduces that.
+    let program = kernel_by_name("spice2g6").expect("kernel exists").program();
+    for opts in [
+        CompileOptions::new(SchedulerKind::Balanced),
+        CompileOptions::new(SchedulerKind::Balanced).with_unroll(8),
+        CompileOptions::new(SchedulerKind::Balanced)
+            .with_unroll(8)
+            .with_trace(),
+    ] {
+        let run = compile_and_run(&program, &opts).unwrap();
+        assert!(
+            run.metrics.load_interlock_fraction() > 0.2,
+            "{}: pointer chase must stay memory-bound, got {:.1}%",
+            opts.label(),
+            run.metrics.load_interlock_fraction() * 100.0
+        );
+    }
+}
+
+#[test]
+fn ora_has_no_load_interlocks() {
+    // ora's working set lives in registers and the L1: the paper reports
+    // 0.0% load interlocks under every configuration.
+    let program = kernel_by_name("ora").expect("kernel exists").program();
+    let run = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+    assert!(
+        run.metrics.load_interlock_fraction() < 0.02,
+        "got {:.2}%",
+        run.metrics.load_interlock_fraction() * 100.0
+    );
+}

@@ -1,0 +1,173 @@
+//! Property-based semantics testing: random kernels run through every
+//! optimization pipeline must preserve the observable memory image.
+//!
+//! The pipeline itself cross-checks each compilation against the
+//! reference interpreter (`PipelineError::ChecksumMismatch`), so the
+//! property here is simply "compilation succeeds" over a randomized
+//! kernel space that exercises loops, strides, nested conditionals,
+//! selects, reductions and 2-D accesses.
+
+use balanced_scheduling::pipeline::{compile, CompileOptions, SchedulerKind};
+use balanced_scheduling::workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
+use balanced_scheduling::workloads::lang::{ArrayInit, Kernel};
+use proptest::prelude::*;
+
+/// A compact, data-first description of a random kernel.
+#[derive(Debug, Clone)]
+struct KernelPlan {
+    array_elems: u64,
+    trip: i64,
+    step: i64,
+    stmts: Vec<StmtPlan>,
+}
+
+#[derive(Debug, Clone)]
+enum StmtPlan {
+    /// out[i + off] = expr
+    Store { off: i64, expr: ExprPlan },
+    /// acc = acc + expr
+    Accumulate { expr: ExprPlan },
+    /// if (in[i] < 0.5) { out[i] = e1 } else { out[i] = e2 }
+    BranchStores { e1: ExprPlan, e2: ExprPlan },
+    /// if (in[i] < 0.5) { acc = acc + e } else {} (predicable)
+    BranchAcc { e: ExprPlan },
+}
+
+#[derive(Debug, Clone)]
+enum ExprPlan {
+    Const(i8),
+    LoadIn { off: i64 },
+    LoadStrided { stride: i64 },
+    Mul(Box<ExprPlan>, Box<ExprPlan>),
+    Add(Box<ExprPlan>, Box<ExprPlan>),
+    Select(Box<ExprPlan>, Box<ExprPlan>),
+    AccRef,
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprPlan> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(ExprPlan::Const),
+        (0i64..4).prop_map(|off| ExprPlan::LoadIn { off }),
+        (1i64..3).prop_map(|stride| ExprPlan::LoadStrided { stride }),
+        Just(ExprPlan::AccRef),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprPlan::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprPlan::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| ExprPlan::Select(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = StmtPlan> {
+    prop_oneof![
+        ((0i64..4), arb_expr()).prop_map(|(off, expr)| StmtPlan::Store { off, expr }),
+        arb_expr().prop_map(|expr| StmtPlan::Accumulate { expr }),
+        (arb_expr(), arb_expr()).prop_map(|(e1, e2)| StmtPlan::BranchStores { e1, e2 }),
+        arb_expr().prop_map(|e| StmtPlan::BranchAcc { e }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = KernelPlan> {
+    (
+        (16u64..64),
+        (0i64..24),
+        (1i64..4),
+        prop::collection::vec(arb_stmt(), 1..4),
+    )
+        .prop_map(|(array_elems, trip, step, stmts)| KernelPlan {
+            array_elems,
+            trip,
+            step,
+            stmts,
+        })
+}
+
+fn build(plan: &KernelPlan) -> bsched_ir::Program {
+    let mut k = Kernel::new("prop");
+    // Arrays sized so indices (i*stride + off) stay in range.
+    let span = plan.array_elems + 8 + plan.array_elems * 2;
+    let input = k.array("in", span, ArrayInit::Random(42));
+    let out = k.array("out", span, ArrayInit::Zero);
+    let accs = k.array("accs", 8, ArrayInit::Zero);
+    let i = k.int_var("i");
+    let acc = k.float_var("acc");
+
+    fn expr(
+        plan: &ExprPlan,
+        input: bsched_workloads::lang::ast::ArrId,
+        i: bsched_workloads::lang::ast::VarId,
+        acc: bsched_workloads::lang::ast::VarId,
+    ) -> Expr {
+        match plan {
+            ExprPlan::Const(c) => Expr::Float(f64::from(*c) / 16.0),
+            ExprPlan::LoadIn { off } => Expr::load(input, Index::of_plus(i, *off)),
+            ExprPlan::LoadStrided { stride } => Expr::load(
+                input,
+                Index::Affine {
+                    terms: vec![(i, *stride)],
+                    offset: 0,
+                },
+            ),
+            ExprPlan::Mul(a, b) => expr(a, input, i, acc) * expr(b, input, i, acc),
+            ExprPlan::Add(a, b) => expr(a, input, i, acc) + expr(b, input, i, acc),
+            ExprPlan::Select(a, b) => Expr::select(
+                Expr::cmp(CmpOp::Lt, expr(a, input, i, acc), Expr::Float(0.25)),
+                expr(a, input, i, acc),
+                expr(b, input, i, acc),
+            ),
+            ExprPlan::AccRef => Expr::Var(acc),
+        }
+    }
+
+    k.push(k.assign(acc, Expr::Float(0.0)));
+    let mut body = Vec::new();
+    for s in &plan.stmts {
+        match s {
+            StmtPlan::Store { off, expr: e } => {
+                body.push(k.store(out, Index::of_plus(i, *off), expr(e, input, i, acc)));
+            }
+            StmtPlan::Accumulate { expr: e } => {
+                body.push(k.assign(acc, Expr::Var(acc) + expr(e, input, i, acc)));
+            }
+            StmtPlan::BranchStores { e1, e2 } => body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::load(input, Index::of(i)), Expr::Float(0.5)),
+                then_: vec![k.store(out, Index::of(i), expr(e1, input, i, acc))],
+                else_: vec![k.store(out, Index::of_plus(i, 1), expr(e2, input, i, acc))],
+            }),
+            StmtPlan::BranchAcc { e } => body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::load(input, Index::of(i)), Expr::Float(0.5)),
+                then_: vec![k.assign(acc, Expr::Var(acc) + expr(e, input, i, acc))],
+                else_: vec![],
+            }),
+        }
+    }
+    k.push(k.for_loop_step(i, Expr::Int(0), Expr::Int(plan.trip), plan.step, body));
+    k.push(k.store(accs, Index::constant(0), Expr::Var(acc)));
+    k.lower()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_pipeline_preserves_semantics(plan in arb_plan()) {
+        let program = build(&plan);
+        prop_assert!(bsched_ir::verify_program(&program).is_ok());
+        for opts in [
+            CompileOptions::new(SchedulerKind::Traditional),
+            CompileOptions::new(SchedulerKind::Balanced),
+            CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+            CompileOptions::new(SchedulerKind::Balanced).with_unroll(8).with_trace(),
+            CompileOptions::new(SchedulerKind::Balanced).with_unroll(4).with_locality(),
+        ] {
+            // compile() internally interprets the result and fails on any
+            // observable-memory divergence.
+            let r = compile(&program, &opts);
+            prop_assert!(r.is_ok(), "{}: {:?}", opts.label(), r.err().map(|e| e.to_string()));
+        }
+    }
+}
