@@ -1,11 +1,11 @@
 //! Ablations over the design choices DESIGN.md calls out. Each ablation
-//! prints the simulated-cycle outcome (the quantity of interest) and is
-//! also timed by Criterion.
+//! prints the simulated-cycle outcome (the quantity of interest); the
+//! headline configuration is also timed by the microbench helper.
 
+use bsched_bench::microbench::bench;
 use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
 use bsched_sim::SimConfig;
 use bsched_workloads::kernel_by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn cycles(name: &str, opts: &CompileOptions) -> u64 {
     let p = kernel_by_name(name).expect("kernel exists").program();
@@ -15,7 +15,7 @@ fn cycles(name: &str, opts: &CompileOptions) -> u64 {
         .cycles
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // 1. Weight cap (paper: 50 = max memory latency).
     println!("\nweight_cap ablation (hydro2d, balanced):");
     for cap in [2u32, 4, 10, 50] {
@@ -166,13 +166,7 @@ fn bench(c: &mut Criterion) {
     );
     println!("  modeled: {on}, perfect I-cache: {off}\n");
 
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("weight_cap_50", |b| {
-        b.iter(|| cycles("hydro2d", &CompileOptions::new(SchedulerKind::Balanced)))
+    bench("ablations/weight_cap_50", || {
+        cycles("hydro2d", &CompileOptions::new(SchedulerKind::Balanced))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Full pipeline (compile + verify + simulate) per kernel and headline
 //! configuration.
 
+use bsched_bench::microbench::bench;
 use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
 use bsched_workloads::kernel_by_name;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn main() {
+    println!("end_to_end:");
     for name in ["su2cor", "tomcatv", "spice2g6"] {
         let p = kernel_by_name(name).expect("kernel exists").program();
         for (label, opts) in [
@@ -18,13 +17,9 @@ fn bench(c: &mut Criterion) {
                 CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
             ),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, name), &p, |b, p| {
-                b.iter(|| compile_and_run(p, &opts).unwrap())
+            bench(&format!("end_to_end/{label}/{name}"), || {
+                compile_and_run(&p, &opts).unwrap()
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,64 +1,50 @@
 //! Cost of the individual optimization passes on a representative kernel.
+//!
+//! Pass inputs are rebuilt per call (the passes mutate in place), so the
+//! clone cost is included — identical across passes, and small next to
+//! the pass work itself.
 
+use bsched_bench::microbench::bench;
 use bsched_opt::{
     apply_locality, local_cse, predicate_function, trace_schedule, unroll_function, EdgeProfile,
     LocalityOptions, TraceOptions, UnrollLimits,
 };
 use bsched_workloads::kernel_by_name;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let src = kernel_by_name("hydro2d").expect("kernel exists").program();
-    c.bench_function("passes/local_cse", |b| {
-        b.iter_batched(
-            || src.clone(),
-            |mut p| local_cse(p.main_mut()),
-            criterion::BatchSize::SmallInput,
-        )
+    println!("passes:");
+    bench("passes/local_cse", || {
+        let mut p = src.clone();
+        local_cse(p.main_mut());
+        p
     });
-    c.bench_function("passes/predication", |b| {
-        let src = kernel_by_name("doduc").expect("kernel exists").program();
-        b.iter_batched(
-            || src.clone(),
-            |mut p| predicate_function(p.main_mut()),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("passes/unroll4", |b| {
-        b.iter_batched(
-            || {
-                let mut p = src.clone();
-                local_cse(p.main_mut());
-                p
-            },
-            |mut p| unroll_function(p.main_mut(), &UnrollLimits::for_factor(4)).len(),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("passes/locality", |b| {
-        b.iter_batched(
-            || {
-                let mut p = src.clone();
-                local_cse(p.main_mut());
-                p
-            },
-            |mut p| apply_locality(p.main_mut(), &LocalityOptions::default()),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("passes/trace_schedule", |b| {
+    {
+        let doduc = kernel_by_name("doduc").expect("kernel exists").program();
+        bench("passes/predication", || {
+            let mut p = doduc.clone();
+            predicate_function(p.main_mut());
+            p
+        });
+    }
+    {
+        let mut pre = src.clone();
+        local_cse(pre.main_mut());
+        bench("passes/unroll4", || {
+            let mut p = pre.clone();
+            unroll_function(p.main_mut(), &UnrollLimits::for_factor(4)).len()
+        });
+        bench("passes/locality", || {
+            let mut p = pre.clone();
+            apply_locality(p.main_mut(), &LocalityOptions::default())
+        });
+    }
+    {
         let profile = EdgeProfile::collect(&src).expect("profiles");
-        b.iter_batched(
-            || src.clone(),
-            |mut p| trace_schedule(p.main_mut(), &profile, &TraceOptions::default()),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+        bench("passes/trace_schedule", || {
+            let mut p = src.clone();
+            trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
+            p
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Scheduling throughput: list-scheduler cost, balanced vs traditional,
 //! over region sizes.
 
+use bsched_bench::microbench::bench;
 use bsched_core::{schedule_order, SchedulerKind, WeightConfig};
 use bsched_ir::{Inst, Op, Reg, RegClass, RegionId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn region(n_iters: u32) -> Vec<Inst> {
     let r = |n| Reg::virt(RegClass::Int, n);
@@ -21,24 +21,15 @@ fn region(n_iters: u32) -> Vec<Inst> {
     insts
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sched_throughput");
+fn main() {
+    println!("sched_throughput:");
     for size in [8u32, 32, 128] {
         let insts = region(size);
         for kind in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), insts.len()),
-                &insts,
-                |b, insts| b.iter(|| schedule_order(insts, &WeightConfig::new(kind))),
+            bench(
+                &format!("sched_throughput/{}/{}", kind.label(), insts.len()),
+                || schedule_order(&insts, &WeightConfig::new(kind)),
             );
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Raw timing-simulator throughput (simulated instructions per host
 //! second) on a compiled kernel.
 
+use bsched_bench::microbench::{bench, fmt_duration};
 use bsched_pipeline::{compile, CompileOptions, SchedulerKind};
 use bsched_sim::{SimConfig, Simulator};
 use bsched_workloads::kernel_by_name;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = kernel_by_name("su2cor").expect("kernel exists").program();
     let compiled = compile(&p, &CompileOptions::new(SchedulerKind::Balanced)).expect("compiles");
     let sim0 = Simulator::new(&compiled.program, SimConfig::default())
@@ -14,21 +14,16 @@ fn bench(c: &mut Criterion) {
         .expect("runs");
     let insts = sim0.metrics.insts.total();
 
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(insts));
-    g.bench_function("su2cor_balanced", |b| {
-        b.iter(|| {
-            Simulator::new(&compiled.program, SimConfig::default())
-                .run()
-                .unwrap()
-        })
+    println!("simulator ({insts} simulated instructions per run):");
+    let m = bench("simulator/su2cor_balanced", || {
+        Simulator::new(&compiled.program, SimConfig::default())
+            .run()
+            .unwrap()
     });
-    g.finish();
+    let per_inst = m.median / u32::try_from(insts.max(1)).unwrap_or(u32::MAX);
+    println!(
+        "  throughput: {:.1} Minst/s ({} per instruction)",
+        insts as f64 / m.median.as_secs_f64() / 1e6,
+        fmt_duration(per_inst)
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

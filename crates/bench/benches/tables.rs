@@ -1,14 +1,15 @@
 //! Regenerates the paper's headline comparison (the Table 8 "no
-//! optimizations" and "LU 4" rows) under Criterion timing, and prints the
-//! measured speedups so `cargo bench` reproduces the numbers end to end.
+//! optimizations" and "LU 4" rows) under microbench timing, and prints
+//! the measured speedups so `cargo bench` reproduces the numbers end to
+//! end. The grid runs through the harness engine, so the timed portion
+//! after the first pass measures the memoized path.
 
+use bsched_bench::microbench::bench;
 use bsched_bench::Grid;
 use bsched_pipeline::table::mean;
-use bsched_pipeline::ConfigKind;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind};
 
-fn headline() -> (f64, f64) {
-    let mut grid = Grid::new();
+fn headline(grid: &Grid) -> (f64, f64) {
     let mut base = Vec::new();
     let mut lu4 = Vec::new();
     for kernel in grid.kernel_names() {
@@ -22,18 +23,23 @@ fn headline() -> (f64, f64) {
     (mean(&base), mean(&lu4))
 }
 
-fn bench(c: &mut Criterion) {
-    let (s0, s4) = headline();
+fn main() {
+    let grid = Grid::new();
+    let configs: Vec<ExperimentConfig> = [SchedulerKind::Traditional, SchedulerKind::Balanced]
+        .into_iter()
+        .flat_map(|scheduler| {
+            [ConfigKind::Base, ConfigKind::Lu(4)]
+                .into_iter()
+                .map(move |kind| ExperimentConfig { scheduler, kind })
+        })
+        .collect();
+    grid.prefetch(&configs);
+
+    let (s0, s4) = headline(&grid);
     println!("\nheadline BS:TS speedups — no optimizations: {s0:.2}, LU4: {s4:.2}");
     println!("(paper: 1.05 and 1.12)\n");
     assert!(s0 > 1.0, "balanced must beat traditional on average");
     assert!(s4 >= s0 - 0.02, "unrolling must not shrink the advantage");
 
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table8_headline_grid", |b| b.iter(headline));
-    g.finish();
+    bench("tables/table8_headline_grid", || headline(&grid));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

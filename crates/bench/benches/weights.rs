@@ -1,9 +1,9 @@
 //! Cost of the balanced load-weight computation (transitive closure +
 //! coverage components) as region size grows.
 
+use bsched_bench::microbench::bench;
 use bsched_core::{compute_weights, SchedulerKind, WeightConfig};
 use bsched_ir::{Dag, Inst, Op, Reg, RegClass, RegionId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn region(n_loads: u32) -> Vec<Inst> {
     let r = |n| Reg::virt(RegClass::Int, n);
@@ -16,25 +16,15 @@ fn region(n_loads: u32) -> Vec<Inst> {
     insts
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("weights");
+fn main() {
+    println!("weights:");
     for n in [8u32, 32, 96] {
         let insts = region(n);
         let dag = Dag::new(&insts);
         for kind in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), insts.len()),
-                &insts,
-                |b, insts| b.iter(|| compute_weights(insts, &dag, &WeightConfig::new(kind))),
-            );
+            bench(&format!("weights/{}/{}", kind.label(), insts.len()), || {
+                compute_weights(&insts, &dag, &WeightConfig::new(kind))
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

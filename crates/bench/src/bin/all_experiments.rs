@@ -1,22 +1,65 @@
 //! Runs the full experiment grid (17 kernels × 15 configurations) and
 //! prints one metric line per run — the raw data behind Tables 4–9.
+//!
+//! The whole deduplicated grid executes up front on the harness's
+//! work-stealing pool; results come back in deterministic kernel ×
+//! configuration order regardless of worker count or cache state. In
+//! `--csv` mode the same bytes also land in `results/all_experiments.csv`.
+//! The harness run report goes to stderr so stdout stays byte-identical
+//! across runs.
+//!
+//! `--kernels NAME,NAME,...` restricts the grid to a subset (used by
+//! `scripts/ci.sh` for a fast smoke run).
 
 use bsched_bench::Grid;
+use bsched_harness::ExperimentCell;
 use bsched_pipeline::standard_grid;
+use std::fmt::Write as _;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let mut grid = Grid::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let filter: Option<Vec<String>> = args.iter().position(|a| a == "--kernels").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--kernels requires a comma-separated list of kernel names");
+                std::process::exit(2);
+            })
+            .split(',')
+            .map(str::to_string)
+            .collect()
+    });
+
+    let grid = Grid::new();
     let configs = standard_grid();
+    let kernels: Vec<String> = match &filter {
+        None => grid.kernel_names(),
+        Some(want) => {
+            let known = grid.kernel_names();
+            for w in want {
+                assert!(known.contains(w), "unknown kernel {w:?}; known: {known:?}");
+            }
+            known.into_iter().filter(|k| want.contains(k)).collect()
+        }
+    };
+    let cells: Vec<ExperimentCell> = kernels
+        .iter()
+        .flat_map(|k| configs.iter().map(|c| ExperimentCell::new(k, c.options())))
+        .collect();
+    grid.prefetch_cells(&cells);
+
     if csv {
-        println!(
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "kernel,config,scheduler,cycles,load_interlock,fixed_interlock,branch_penalty,\
              fetch_stall,tlb_stall,dyn_insts,loads,stores,branches,spills,l1d_hit_rate"
         );
-        for kernel in grid.kernel_names() {
+        for kernel in &kernels {
             for cfg in &configs {
-                let m = grid.metrics(&kernel, *cfg);
-                println!(
+                let m = grid.metrics(kernel, *cfg);
+                let _ = writeln!(
+                    out,
                     "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
                     kernel,
                     cfg.kind.label().replace(' ', ""),
@@ -36,15 +79,28 @@ fn main() {
                 );
             }
         }
+        print!("{out}");
+        let path = std::path::Path::new("results/all_experiments.csv");
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, out.as_bytes())
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+        eprint!("{}", grid.report().render());
         return;
     }
     println!(
         "{:10} {:12} {:>4} {:>10} {:>9} {:>9} {:>8} {:>10} {:>8}",
         "kernel", "config", "sch", "cycles", "loadIL", "fixedIL", "branch", "dyninsts", "spills"
     );
-    for kernel in grid.kernel_names() {
+    for kernel in &kernels {
         for cfg in &configs {
-            let m = grid.metrics(&kernel, *cfg);
+            let m = grid.metrics(kernel, *cfg);
             println!(
                 "{:10} {:12} {:>4} {:>10} {:>9} {:>9} {:>8} {:>10} {:>8}",
                 kernel,
@@ -59,4 +115,5 @@ fn main() {
             );
         }
     }
+    eprint!("{}", grid.report().render());
 }

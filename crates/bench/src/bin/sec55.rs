@@ -5,43 +5,57 @@
 //! shrinking to 4% under the real one, because fixed multi-cycle
 //! latencies are work balanced scheduling does not (yet) hide.
 
+use bsched_bench::Grid;
+use bsched_harness::ExperimentCell;
 use bsched_pipeline::table::{mean, ratio};
-use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind, Table};
+use bsched_pipeline::{CompileOptions, SchedulerKind, Table};
 use bsched_sim::SimConfig;
-use bsched_workloads::all_kernels;
 
 fn main() {
     // The four Perfect Club programs the two studies share are unnamed in
     // the paper; we use our Perfect Club kernels with substantial FP
     // latencies, where the model difference matters most.
     let names = ["ARC2D", "MDG", "QCD2", "TRFD"];
+    let sims = [SimConfig::default().simple_model_1993(), SimConfig::default()];
+    let grid = Grid::new();
+    let kernels: Vec<String> = grid
+        .kernel_names()
+        .into_iter()
+        .filter(|k| names.contains(&k.as_str()))
+        .collect();
+
+    // Exactly the 4 × 2 × 2 cells of this study, in one parallel batch.
+    let mut cells = Vec::new();
+    for kernel in &kernels {
+        for sim in sims {
+            for scheduler in [SchedulerKind::Balanced, SchedulerKind::Traditional] {
+                cells.push(ExperimentCell::new(
+                    kernel,
+                    CompileOptions::new(scheduler).with_sim(sim),
+                ));
+            }
+        }
+    }
+    grid.prefetch_cells(&cells);
+
     let mut t = Table::new(
         "Section 5.5: simple (KE93) vs full (21164) machine model — BS:TS speedup",
         &["Benchmark", "simple model", "full model"],
     );
     let mut simple_all = Vec::new();
     let mut full_all = Vec::new();
-    for spec in all_kernels() {
-        if !names.contains(&spec.name) {
-            continue;
-        }
-        let program = spec.program();
-        let mut row = vec![spec.name.to_string()];
-        for (vals, sim) in [
-            (&mut simple_all, SimConfig::default().simple_model_1993()),
-            (&mut full_all, SimConfig::default()),
-        ] {
-            let bs = compile_and_run(
-                &program,
+    for kernel in &kernels {
+        let mut row = vec![kernel.clone()];
+        for (vals, sim) in [(&mut simple_all, sims[0]), (&mut full_all, sims[1])] {
+            let bs = grid.metrics_for(
+                kernel,
                 &CompileOptions::new(SchedulerKind::Balanced).with_sim(sim),
-            )
-            .expect("balanced pipeline");
-            let ts = compile_and_run(
-                &program,
+            );
+            let ts = grid.metrics_for(
+                kernel,
                 &CompileOptions::new(SchedulerKind::Traditional).with_sim(sim),
-            )
-            .expect("traditional pipeline");
-            let s = bs.metrics.speedup_over(&ts.metrics);
+            );
+            let s = bs.speedup_over(&ts);
             vals.push(s);
             row.push(ratio(s));
         }
@@ -59,4 +73,5 @@ fn main() {
          modeling the 21164\" — the simple model hides the fixed-latency\n\
          competition that dilutes balanced scheduling on real machines."
     );
+    eprint!("{}", grid.report().render());
 }

@@ -5,38 +5,47 @@
 //! This binary sweeps the in-order issue width (1 = the paper's machine,
 //! 2, 4) and reports the average BS:TS speedup per width.
 
+use bsched_bench::Grid;
 use bsched_pipeline::table::{mean, ratio};
-use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind, Table};
+use bsched_pipeline::{CompileOptions, SchedulerKind, Table};
 use bsched_sim::SimConfig;
-use bsched_workloads::all_kernels;
 
 fn main() {
     let widths = [1u32, 2, 4];
+    let grid = Grid::new();
+
+    // All 17 kernels × 3 widths × 2 schedulers, one parallel batch.
+    let mut opts = Vec::new();
+    for &w in &widths {
+        let sim = SimConfig::default().with_issue_width(w);
+        for scheduler in [SchedulerKind::Balanced, SchedulerKind::Traditional] {
+            opts.push(CompileOptions::new(scheduler).with_unroll(4).with_sim(sim));
+        }
+    }
+    grid.prefetch_options(&opts);
+
     let mut t = Table::new(
         "Future work (paper §6): BS:TS speedup vs in-order issue width (with LU4)",
         &["Benchmark", "width 1", "width 2", "width 4"],
     );
     let mut avgs = vec![Vec::new(); widths.len()];
-    for spec in all_kernels() {
-        let program = spec.program();
-        let mut row = vec![spec.name.to_string()];
+    for kernel in grid.kernel_names() {
+        let mut row = vec![kernel.clone()];
         for (k, &w) in widths.iter().enumerate() {
             let sim = SimConfig::default().with_issue_width(w);
-            let bs = compile_and_run(
-                &program,
+            let bs = grid.metrics_for(
+                &kernel,
                 &CompileOptions::new(SchedulerKind::Balanced)
                     .with_unroll(4)
                     .with_sim(sim),
-            )
-            .expect("balanced pipeline");
-            let ts = compile_and_run(
-                &program,
+            );
+            let ts = grid.metrics_for(
+                &kernel,
                 &CompileOptions::new(SchedulerKind::Traditional)
                     .with_unroll(4)
                     .with_sim(sim),
-            )
-            .expect("traditional pipeline");
-            let s = bs.metrics.speedup_over(&ts.metrics);
+            );
+            let s = bs.speedup_over(&ts);
             avgs[k].push(s);
             row.push(ratio(s));
         }
@@ -48,4 +57,5 @@ fn main() {
     }
     t.row(avg_row);
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

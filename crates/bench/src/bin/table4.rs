@@ -5,10 +5,16 @@
 
 use bsched_bench::{pct_decrease, Grid};
 use bsched_pipeline::table::{mean, pct, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
+    grid.prefetch(
+        &[ConfigKind::Base, ConfigKind::Lu(4), ConfigKind::Lu(8)].map(|kind| ExperimentConfig {
+            scheduler: SchedulerKind::Balanced,
+            kind,
+        }),
+    );
     let mut t = Table::new(
         "Table 4: Balanced scheduling — effect of loop unrolling (relative to no unrolling)",
         &[
@@ -66,4 +72,5 @@ fn main() {
         pct(mean(&avg[5])),
     ]);
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

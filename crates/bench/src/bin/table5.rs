@@ -5,10 +5,17 @@
 
 use bsched_bench::{pct_decrease, Grid};
 use bsched_pipeline::table::{mean, pct, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
+    let mut warm = Vec::new();
+    for scheduler in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+        for kind in [ConfigKind::Base, ConfigKind::Lu(4), ConfigKind::Lu(8)] {
+            warm.push(ExperimentConfig { scheduler, kind });
+        }
+    }
+    grid.prefetch(&warm);
     let mut t = Table::new(
         "Table 5: BS vs TS for loop unrolling",
         &[
@@ -62,4 +69,5 @@ fn main() {
     }
     t.row(avg_row);
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

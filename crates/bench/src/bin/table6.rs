@@ -4,10 +4,10 @@
 
 use bsched_bench::Grid;
 use bsched_pipeline::table::{mean, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
     let kinds = [
         ConfigKind::Lu(4),
         ConfigKind::Lu(8),
@@ -19,6 +19,15 @@ fn main() {
         ConfigKind::LaTrsLu(4),
         ConfigKind::LaTrsLu(8),
     ];
+    let warm: Vec<ExperimentConfig> = kinds
+        .iter()
+        .chain(std::iter::once(&ConfigKind::Base))
+        .map(|&kind| ExperimentConfig {
+            scheduler: SchedulerKind::Balanced,
+            kind,
+        })
+        .collect();
+    grid.prefetch(&warm);
     let mut headers = vec!["Benchmark".to_string()];
     headers.extend(kinds.iter().map(|k| k.label()));
     let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -42,4 +51,5 @@ fn main() {
     }
     t.row(avg_row);
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

@@ -4,10 +4,10 @@
 
 use bsched_bench::Grid;
 use bsched_pipeline::table::{mean, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
     let kinds = [
         ConfigKind::Base,
         ConfigKind::Lu(4),
@@ -15,6 +15,13 @@ fn main() {
         ConfigKind::TrsLu(4),
         ConfigKind::TrsLu(8),
     ];
+    let mut warm = Vec::new();
+    for scheduler in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+        for kind in kinds {
+            warm.push(ExperimentConfig { scheduler, kind });
+        }
+    }
+    grid.prefetch(&warm);
     let mut t = Table::new(
         "Table 7: Speedup of balanced over traditional scheduling",
         &["Benchmark", "No LU", "LU 4", "LU 8", "TrS+LU 4", "TrS+LU 8"],
@@ -37,4 +44,5 @@ fn main() {
     }
     t.row(avg_row);
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

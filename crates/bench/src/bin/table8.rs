@@ -3,10 +3,23 @@
 
 use bsched_bench::{pct_decrease, Grid};
 use bsched_pipeline::table::{mean, pct, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
+    let mut warm = Vec::new();
+    for scheduler in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
+        for kind in [
+            ConfigKind::Base,
+            ConfigKind::Lu(4),
+            ConfigKind::Lu(8),
+            ConfigKind::TrsLu(4),
+            ConfigKind::TrsLu(8),
+        ] {
+            warm.push(ExperimentConfig { scheduler, kind });
+        }
+    }
+    grid.prefetch(&warm);
     let rows = [
         ("No optimizations", ConfigKind::Base),
         ("Loop unrolling by 4", ConfigKind::Lu(4)),
@@ -67,4 +80,5 @@ fn main() {
         ]);
     }
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

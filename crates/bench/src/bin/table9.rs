@@ -4,10 +4,24 @@
 
 use bsched_bench::Grid;
 use bsched_pipeline::table::{mean, ratio};
-use bsched_pipeline::{ConfigKind, Table};
+use bsched_pipeline::{ConfigKind, ExperimentConfig, SchedulerKind, Table};
 
 fn main() {
-    let mut grid = Grid::new();
+    let grid = Grid::new();
+    grid.prefetch(
+        &[
+            ConfigKind::Base,
+            ConfigKind::La,
+            ConfigKind::LaLu(4),
+            ConfigKind::LaLu(8),
+            ConfigKind::LaTrsLu(4),
+            ConfigKind::LaTrsLu(8),
+        ]
+        .map(|kind| ExperimentConfig {
+            scheduler: SchedulerKind::Balanced,
+            kind,
+        }),
+    );
     let rows = [
         ("Locality analysis", ConfigKind::La),
         (
@@ -54,4 +68,5 @@ fn main() {
         t.row(vec![label.to_string(), col1, ratio(mean(&vs_bs))]);
     }
     println!("{t}");
+    eprint!("{}", grid.report().render());
 }

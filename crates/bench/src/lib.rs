@@ -1,18 +1,24 @@
 //! `bsched-bench` — shared plumbing for the table/figure regeneration
-//! binaries and the Criterion benches.
+//! binaries and the std-only microbenches.
+//!
+//! The [`Grid`] wraps the [`bsched_harness::Engine`]: every lookup is
+//! answered from the engine's memoized store, and binaries call
+//! [`Grid::prefetch`] up front so the whole deduplicated cell set runs
+//! in parallel on the work-stealing pool (with the on-disk cache making
+//! warm re-runs nearly free).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bsched_ir::Program;
-use bsched_pipeline::{ConfigKind, ExperimentConfig, Runner, SchedulerKind};
-use bsched_sim::SimMetrics;
-use bsched_workloads::all_kernels;
+pub mod microbench;
 
-/// A memoizing grid runner over the 17-kernel workload.
+use bsched_harness::{Engine, EngineConfig, ExperimentCell, RunReport};
+use bsched_pipeline::{CompileOptions, ConfigKind, ExperimentConfig, SchedulerKind};
+use bsched_sim::SimMetrics;
+
+/// A harness-backed grid runner over the 17-kernel workload.
 pub struct Grid {
-    programs: Vec<(String, Program)>,
-    runner: Runner,
+    engine: Engine,
 }
 
 impl Default for Grid {
@@ -22,23 +28,73 @@ impl Default for Grid {
 }
 
 impl Grid {
-    /// Lowers every kernel once.
+    /// Lowers every kernel once and configures the engine from the
+    /// environment (`BSCHED_JOBS`, `BSCHED_NO_CACHE`, `BSCHED_CACHE_DIR`).
     #[must_use]
     pub fn new() -> Self {
-        let programs = all_kernels()
-            .iter()
-            .map(|k| (k.name.to_string(), k.program()))
-            .collect();
         Grid {
-            programs,
-            runner: Runner::new(),
+            engine: Engine::with_standard_kernels(EngineConfig::from_env()),
         }
+    }
+
+    /// A grid over an explicit engine (tests use this to control the
+    /// worker count and cache directory).
+    #[must_use]
+    pub fn with_engine(engine: Engine) -> Self {
+        Grid { engine }
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The kernel names, in paper order.
     #[must_use]
     pub fn kernel_names(&self) -> Vec<String> {
-        self.programs.iter().map(|(n, _)| n.clone()).collect()
+        self.engine.kernel_names()
+    }
+
+    /// Runs the full (kernel × configuration) product through the engine
+    /// in one parallel batch. Call this before the serial table-formatting
+    /// loops so every cell is computed on the pool rather than one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails — the workload is expected to compile
+    /// under every configuration.
+    pub fn prefetch(&self, configs: &[ExperimentConfig]) {
+        let opts: Vec<CompileOptions> = configs.iter().map(ExperimentConfig::options).collect();
+        self.prefetch_options(&opts);
+    }
+
+    /// Like [`Grid::prefetch`] for raw compile options (the §5.5 and
+    /// superscalar studies build options directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails.
+    pub fn prefetch_options(&self, opts: &[CompileOptions]) {
+        let mut cells = Vec::with_capacity(self.kernel_names().len() * opts.len());
+        for kernel in self.kernel_names() {
+            for o in opts {
+                cells.push(ExperimentCell::new(&kernel, o.clone()));
+            }
+        }
+        self.prefetch_cells(&cells);
+    }
+
+    /// Runs an explicit cell set in one parallel batch (for studies over
+    /// a kernel subset, like §5.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails.
+    pub fn prefetch_cells(&self, cells: &[ExperimentCell]) {
+        self.engine
+            .run(cells)
+            .unwrap_or_else(|e| panic!("experiment grid failed: {e}"));
     }
 
     /// Runs (memoized) one kernel under one configuration.
@@ -47,22 +103,25 @@ impl Grid {
     ///
     /// Panics if the pipeline fails — the workload is expected to compile
     /// under every configuration.
-    pub fn metrics(&mut self, kernel: &str, config: ExperimentConfig) -> SimMetrics {
-        let program = &self
-            .programs
-            .iter()
-            .find(|(n, _)| n == kernel)
-            .unwrap_or_else(|| panic!("unknown kernel {kernel}"))
-            .1;
-        self.runner
-            .run(kernel, program, config)
-            .unwrap_or_else(|e| panic!("{kernel} under {:?} failed: {e}", config.kind))
-            .metrics
-            .clone()
+    pub fn metrics(&self, kernel: &str, config: ExperimentConfig) -> SimMetrics {
+        self.metrics_for(kernel, &config.options())
+    }
+
+    /// Runs (memoized) one kernel under raw compile options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails.
+    pub fn metrics_for(&self, kernel: &str, opts: &CompileOptions) -> SimMetrics {
+        let cell = ExperimentCell::new(kernel, opts.clone());
+        self.engine
+            .metrics(&cell)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience: balanced-scheduling metrics for a configuration kind.
-    pub fn bs(&mut self, kernel: &str, kind: ConfigKind) -> SimMetrics {
+    #[must_use]
+    pub fn bs(&self, kernel: &str, kind: ConfigKind) -> SimMetrics {
         self.metrics(
             kernel,
             ExperimentConfig {
@@ -74,7 +133,8 @@ impl Grid {
 
     /// Convenience: traditional-scheduling metrics for a configuration
     /// kind.
-    pub fn ts(&mut self, kernel: &str, kind: ConfigKind) -> SimMetrics {
+    #[must_use]
+    pub fn ts(&self, kernel: &str, kind: ConfigKind) -> SimMetrics {
         self.metrics(
             kernel,
             ExperimentConfig {
@@ -82,6 +142,13 @@ impl Grid {
                 kind,
             },
         )
+    }
+
+    /// The engine's run report (printed to stderr by the binaries so
+    /// stdout stays byte-deterministic).
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        self.engine.report()
     }
 }
 

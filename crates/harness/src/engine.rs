@@ -1,0 +1,370 @@
+//! The experiment-execution engine: deduplication, cache layering, and
+//! parallel dispatch.
+
+use crate::cell::ExperimentCell;
+use crate::disk::DiskCache;
+use crate::pool;
+use crate::report::{CellTiming, RunReport};
+use crate::store::ResultStore;
+use bsched_ir::Program;
+use bsched_pipeline::compile_and_run;
+use bsched_sim::SimMetrics;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The cached outcome of one cell: the simulator metrics plus the
+/// record that the interpreter cross-check passed when the cell was
+/// computed (cached cells do not re-run the check — they record it).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Timing metrics of the simulated run.
+    pub metrics: SimMetrics,
+    /// Whether the compiled program's memory image matched the reference
+    /// interpreter's. The engine refuses to serve `false`.
+    pub checksum_ok: bool,
+}
+
+/// Engine failures.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A cell referenced a kernel the engine does not know.
+    UnknownKernel(String),
+    /// A cell failed to compile/simulate, or diverged from the
+    /// reference interpreter.
+    Cell {
+        /// `kernel/label` of the failing cell.
+        cell: String,
+        /// The underlying failure.
+        msg: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
+            HarnessError::Cell { cell, msg } => write!(f, "cell {cell} failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for cache-missing cells.
+    pub jobs: usize,
+    /// Whether the on-disk cache layer is active.
+    pub disk_cache: bool,
+    /// Root of the on-disk cache (the `v<N>` subdirectory is appended).
+    pub cache_dir: PathBuf,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: default_jobs(),
+            disk_cache: true,
+            cache_dir: PathBuf::from("results/cache"),
+        }
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl EngineConfig {
+    /// Reads the environment:
+    ///
+    /// * `BSCHED_JOBS=<n>` — worker count (default:
+    ///   `available_parallelism()`),
+    /// * `BSCHED_NO_CACHE=1` — bypass the disk cache (for benchmarking
+    ///   the engine itself),
+    /// * `BSCHED_CACHE_DIR=<path>` — cache root (default
+    ///   `results/cache`).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = EngineConfig::default();
+        if let Ok(v) = std::env::var("BSCHED_JOBS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.jobs = n,
+                _ => eprintln!("bsched-harness: ignoring invalid BSCHED_JOBS={v:?}"),
+            }
+        }
+        if let Ok(v) = std::env::var("BSCHED_NO_CACHE") {
+            if v == "1" || v.eq_ignore_ascii_case("true") {
+                cfg.disk_cache = false;
+            }
+        }
+        if let Ok(v) = std::env::var("BSCHED_CACHE_DIR") {
+            if !v.is_empty() {
+                cfg.cache_dir = PathBuf::from(v);
+            }
+        }
+        cfg
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides the cache root.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Enables/disables the disk layer.
+    #[must_use]
+    pub fn with_disk_cache(mut self, on: bool) -> Self {
+        self.disk_cache = on;
+        self
+    }
+}
+
+/// The engine: kernels, cache layers, pool, and report state.
+pub struct Engine {
+    kernels: Vec<(String, Program)>,
+    index: HashMap<String, usize>,
+    config: EngineConfig,
+    store: ResultStore,
+    disk: DiskCache,
+    report: Mutex<RunReport>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Engine({} kernels, {} memoized cells, {} workers)",
+            self.kernels.len(),
+            self.store.len(),
+            self.config.jobs
+        )
+    }
+}
+
+impl Engine {
+    /// An engine over an explicit kernel set.
+    #[must_use]
+    pub fn new(kernels: Vec<(String, Program)>, config: EngineConfig) -> Self {
+        let index = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), i))
+            .collect();
+        let disk = DiskCache::new(&config.cache_dir, config.disk_cache);
+        let mut report = RunReport::default();
+        report.workers = config.jobs;
+        Engine {
+            kernels,
+            index,
+            config,
+            store: ResultStore::new(),
+            disk,
+            report: Mutex::new(report),
+        }
+    }
+
+    /// An engine over the paper's 17-kernel workload, each lowered once.
+    #[must_use]
+    pub fn with_standard_kernels(config: EngineConfig) -> Self {
+        let kernels = bsched_workloads::all_kernels()
+            .iter()
+            .map(|k| (k.name.to_string(), k.program()))
+            .collect();
+        Engine::new(kernels, config)
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.config.jobs
+    }
+
+    /// Kernel names, in workload order.
+    #[must_use]
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.kernels.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Ensures every requested cell has a result, executing the
+    /// deduplicated cache misses on the work-stealing pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown kernels, pipeline errors, or an interpreter
+    /// cross-check divergence (a simulator/compiler bug, not a
+    /// measurement). The first failing cell in request order is
+    /// reported.
+    pub fn run(&self, cells: &[ExperimentCell]) -> Result<(), HarnessError> {
+        // Deduplicate within the batch, preserving request order.
+        let mut unique: Vec<&ExperimentCell> = Vec::with_capacity(cells.len());
+        {
+            let mut seen = std::collections::HashSet::with_capacity(cells.len());
+            for cell in cells {
+                if seen.insert(cell.canonical_key()) {
+                    unique.push(cell);
+                }
+            }
+        }
+        let deduplicated = cells.len() - unique.len();
+
+        // Layer 1/2: memory, then disk.
+        let mut misses: Vec<&ExperimentCell> = Vec::new();
+        let mut memory_hits = 0u64;
+        let mut disk_hits = 0u64;
+        for &cell in &unique {
+            if self.store.contains(cell) {
+                memory_hits += 1;
+            } else if let Some(result) = self.disk.load(cell) {
+                self.store.insert(cell, result);
+                disk_hits += 1;
+            } else {
+                if !self.index.contains_key(cell.kernel()) {
+                    return Err(HarnessError::UnknownKernel(cell.kernel().to_string()));
+                }
+                misses.push(cell);
+            }
+        }
+
+        // Layer 3: execute the misses in parallel.
+        let mut timings = Vec::new();
+        if !misses.is_empty() {
+            let (outcomes, stats) = pool::run_jobs(self.config.jobs, misses.len(), |i| {
+                let cell = misses[i];
+                let t0 = Instant::now();
+                let outcome = self.execute(cell);
+                (outcome, t0.elapsed())
+            });
+            for (cell, (outcome, wall)) in misses.iter().zip(outcomes) {
+                timings.push(CellTiming {
+                    cell: cell.to_string(),
+                    wall,
+                });
+                match outcome {
+                    Ok(result) => {
+                        self.disk.store(cell, &result);
+                        self.store.insert(cell, result);
+                    }
+                    Err(e) => {
+                        self.update_report(cells.len() as u64, deduplicated as u64, memory_hits, disk_hits, &timings, Some(&stats));
+                        return Err(e);
+                    }
+                }
+            }
+            self.update_report(
+                cells.len() as u64,
+                deduplicated as u64,
+                memory_hits,
+                disk_hits,
+                &timings,
+                Some(&stats),
+            );
+        } else {
+            self.update_report(
+                cells.len() as u64,
+                deduplicated as u64,
+                memory_hits,
+                disk_hits,
+                &timings,
+                None,
+            );
+        }
+        Ok(())
+    }
+
+    /// The memoized result for a cell, if present.
+    #[must_use]
+    pub fn result(&self, cell: &ExperimentCell) -> Option<CellResult> {
+        self.store.get(cell)
+    }
+
+    /// The metrics for a cell, computing it (and anything it needs) on
+    /// demand when missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HarnessError`]s from execution.
+    pub fn metrics(&self, cell: &ExperimentCell) -> Result<SimMetrics, HarnessError> {
+        if let Some(r) = self.store.get(cell) {
+            return Ok(r.metrics);
+        }
+        self.run(std::slice::from_ref(cell))?;
+        Ok(self
+            .store
+            .get(cell)
+            .expect("run() populated the store")
+            .metrics)
+    }
+
+    /// A snapshot of the run report.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        self.report.lock().expect("report poisoned").clone()
+    }
+
+    /// Drops the in-memory layer, keeping the disk cache — the cache
+    /// round-trip tests use this to prove disk hits alone reproduce the
+    /// results.
+    pub fn clear_memory(&self) {
+        self.store.clear();
+    }
+
+    fn execute(&self, cell: &ExperimentCell) -> Result<CellResult, HarnessError> {
+        let idx = self.index[cell.kernel()];
+        let program = &self.kernels[idx].1;
+        let run = compile_and_run(program, cell.options()).map_err(|e| HarnessError::Cell {
+            cell: cell.to_string(),
+            msg: e.to_string(),
+        })?;
+        if !run.checksum_ok {
+            return Err(HarnessError::Cell {
+                cell: cell.to_string(),
+                msg: "simulator diverged from the reference interpreter".to_string(),
+            });
+        }
+        Ok(CellResult {
+            metrics: run.metrics,
+            checksum_ok: true,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update_report(
+        &self,
+        requested: u64,
+        deduplicated: u64,
+        memory_hits: u64,
+        disk_hits: u64,
+        timings: &[CellTiming],
+        stats: Option<&pool::PoolStats>,
+    ) {
+        let mut r = self.report.lock().expect("report poisoned");
+        r.requested += requested;
+        r.deduplicated += deduplicated;
+        r.memory_hits += memory_hits;
+        r.disk_hits += disk_hits;
+        r.executed += timings.len() as u64;
+        r.cell_timings.extend_from_slice(timings);
+        if let Some(s) = stats {
+            r.pool_wall += s.wall;
+            r.steals += s.steals;
+            if r.worker_busy.len() < s.busy.len() {
+                r.worker_busy.resize(s.busy.len(), std::time::Duration::ZERO);
+            }
+            for (acc, b) in r.worker_busy.iter_mut().zip(&s.busy) {
+                *acc += *b;
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A std-only work-stealing thread pool for embarrassingly parallel,
+//! unevenly sized jobs.
+//!
+//! Structure (the classic shape, hand-rolled on `std` because the build
+//! environment has no access to the crates registry):
+//!
+//! * a **shared injector** holding all job indices at the start,
+//! * a **per-worker deque**; workers refill from the injector in small
+//!   batches, work their own deque LIFO-free (front), and
+//! * **steal** from the *back* of a victim's deque when both their deque
+//!   and the injector are empty.
+//!
+//! Batched refills keep injector contention low; stealing from the back
+//! moves the largest contiguous chunk of untouched work. Job cost in
+//! this workspace spans two orders of magnitude (BDNA's huge blocks vs.
+//! ora's single routine), which is exactly the workload self-scheduling
+//! loop schedulers are built for.
+//!
+//! Results are written by job index, so the output order is independent
+//! of scheduling — callers see a deterministic `Vec<T>`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many jobs a worker moves from the injector to its own deque per
+/// refill.
+const REFILL_BATCH: usize = 4;
+
+/// Observability counters from one pool run.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Number of workers that ran.
+    pub workers: usize,
+    /// Busy (job-executing) time per worker.
+    pub busy: Vec<Duration>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Successful steal operations.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (self.wall.as_secs_f64() * self.workers as f64)).min(1.0)
+    }
+}
+
+struct Shared<T> {
+    injector: Mutex<VecDeque<usize>>,
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    results: Vec<Mutex<Option<T>>>,
+    remaining: AtomicUsize,
+    steals: AtomicU64,
+}
+
+/// Runs `jobs` invocations of `f` (by index) on `workers` threads and
+/// returns the results in index order plus pool statistics.
+///
+/// With `workers == 1` no threads are spawned and jobs run inline in
+/// index order — the sequential baseline the determinism tests compare
+/// against.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the pool does not attempt recovery; a
+/// panicking experiment is a bug upstream).
+pub fn run_jobs<T, F>(workers: usize, jobs: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let started = Instant::now();
+    let workers = workers.max(1);
+    if workers == 1 || jobs <= 1 {
+        let t0 = Instant::now();
+        let results = (0..jobs).map(&f).collect();
+        let stats = PoolStats {
+            workers: 1,
+            busy: vec![t0.elapsed()],
+            wall: started.elapsed(),
+            steals: 0,
+        };
+        return (results, stats);
+    }
+
+    let shared = Shared {
+        injector: Mutex::new((0..jobs).collect()),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        results: (0..jobs).map(|_| Mutex::new(None)).collect(),
+        remaining: AtomicUsize::new(jobs),
+        steals: AtomicU64::new(0),
+    };
+
+    let mut busy = vec![Duration::ZERO; workers];
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|id| scope.spawn(move || worker(id, workers, shared, f)))
+            .collect();
+        for (id, h) in handles.into_iter().enumerate() {
+            busy[id] = h.join().expect("worker panicked");
+        }
+    });
+
+    let results = shared
+        .results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("job completed without a result")
+        })
+        .collect();
+    let stats = PoolStats {
+        workers,
+        busy,
+        wall: started.elapsed(),
+        steals: shared.steals.load(Ordering::Relaxed),
+    };
+    (results, stats)
+}
+
+fn worker<T, F>(id: usize, workers: usize, shared: &Shared<T>, f: &F) -> Duration
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut busy = Duration::ZERO;
+    loop {
+        let job = next_job(id, workers, shared);
+        match job {
+            Some(idx) => {
+                let t0 = Instant::now();
+                let out = f(idx);
+                busy += t0.elapsed();
+                *shared.results[idx].lock().expect("result mutex poisoned") = Some(out);
+                shared.remaining.fetch_sub(1, Ordering::Release);
+            }
+            None => {
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    return busy;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn next_job<T>(id: usize, workers: usize, shared: &Shared<T>) -> Option<usize> {
+    // 1. Own deque, front.
+    if let Some(idx) = shared.locals[id].lock().expect("deque poisoned").pop_front() {
+        return Some(idx);
+    }
+    // 2. Refill a small batch from the injector.
+    {
+        let mut injector = shared.injector.lock().expect("injector poisoned");
+        if !injector.is_empty() {
+            let mut local = shared.locals[id].lock().expect("deque poisoned");
+            for _ in 0..REFILL_BATCH {
+                match injector.pop_front() {
+                    Some(idx) => local.push_back(idx),
+                    None => break,
+                }
+            }
+            drop(injector);
+            return local.pop_front();
+        }
+    }
+    // 3. Steal half of a victim's deque, from the back.
+    for off in 1..workers {
+        let victim = (id + off) % workers;
+        let mut their = shared.locals[victim].lock().expect("deque poisoned");
+        if their.is_empty() {
+            continue;
+        }
+        let take = their.len().div_ceil(2);
+        let stolen: Vec<usize> = (0..take).filter_map(|_| their.pop_back()).collect();
+        drop(their);
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+        let mut mine = shared.locals[id].lock().expect("deque poisoned");
+        for idx in stolen {
+            mine.push_back(idx);
+        }
+        return mine.pop_front();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let (results, stats) = run_jobs(4, 100, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let (results, stats) = run_jobs(1, 10, |i| i);
+        assert_eq!(results, (0..10).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn uneven_jobs_finish_and_keep_order() {
+        // Job 0 is much heavier than the rest: stealing must pick up the
+        // slack and the result vector must stay in index order.
+        let (results, _) = run_jobs(3, 32, |i| {
+            if i == 0 {
+                let mut acc = 0u64;
+                for k in 0..2_000_000u64 {
+                    acc = acc.wrapping_add(k).rotate_left(1);
+                }
+                (i as u64, acc & 1)
+            } else {
+                (i as u64, 0)
+            }
+        });
+        for (i, &(idx, _)) in results.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let (results, _) = run_jobs(4, 0, |i| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let (_, stats) = run_jobs(2, 16, |i| {
+            std::thread::sleep(Duration::from_micros(200));
+            i
+        });
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "{u}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Structured run reports: what the engine did and where the time went.
+
+use std::time::Duration;
+
+/// One executed (cache-missing) cell's timing.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// `kernel/label` of the cell.
+    pub cell: String,
+    /// Wall time of the compile+simulate for this cell.
+    pub wall: Duration,
+}
+
+/// Aggregate observability data for every `Engine::run` so far.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Cells requested across all `run` calls (before deduplication).
+    pub requested: u64,
+    /// Duplicates removed within request batches.
+    pub deduplicated: u64,
+    /// Cells answered from the in-memory store.
+    pub memory_hits: u64,
+    /// Cells answered from the on-disk cache.
+    pub disk_hits: u64,
+    /// Cells actually executed (cache misses).
+    pub executed: u64,
+    /// Worker count used for parallel batches.
+    pub workers: usize,
+    /// Busy time per worker, summed over batches.
+    pub worker_busy: Vec<Duration>,
+    /// Wall time spent inside parallel batches.
+    pub pool_wall: Duration,
+    /// Successful steals across batches.
+    pub steals: u64,
+    /// Per-cell wall time of every executed cell.
+    pub cell_timings: Vec<CellTiming>,
+}
+
+impl RunReport {
+    /// Cache hit count (memory + disk).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Hit fraction over unique requested cells in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let unique = self.hits() + self.executed;
+        if unique == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / unique as f64
+        }
+    }
+
+    /// Mean worker utilization over pool wall time.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.pool_wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (self.pool_wall.as_secs_f64() * self.workers as f64)).min(1.0)
+    }
+
+    /// The `n` slowest executed cells, most expensive first.
+    #[must_use]
+    pub fn slowest(&self, n: usize) -> Vec<&CellTiming> {
+        let mut sorted: Vec<&CellTiming> = self.cell_timings.iter().collect();
+        sorted.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.cell.cmp(&b.cell)));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Renders the report as human-readable text (the binaries print
+    /// this to stderr so stdout stays byte-deterministic).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "── bsched-harness run report ──");
+        let _ = writeln!(
+            s,
+            "cells: {} requested, {} deduplicated, {} memory hits, {} disk hits, {} executed ({:.0}% cache hits)",
+            self.requested,
+            self.deduplicated,
+            self.memory_hits,
+            self.disk_hits,
+            self.executed,
+            self.hit_rate() * 100.0
+        );
+        if self.executed > 0 {
+            let total_busy: Duration = self.worker_busy.iter().sum();
+            let _ = writeln!(
+                s,
+                "pool: {} workers, {:.3}s wall, {:.3}s busy ({:.0}% utilization), {} steals",
+                self.workers,
+                self.pool_wall.as_secs_f64(),
+                total_busy.as_secs_f64(),
+                self.utilization() * 100.0,
+                self.steals
+            );
+            let _ = writeln!(s, "slowest cells:");
+            for t in self.slowest(5) {
+                let _ = writeln!(s, "  {:>9.3}s  {}", t.wall.as_secs_f64(), t.cell);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(cell: &str, ms: u64) -> CellTiming {
+        CellTiming {
+            cell: cell.to_string(),
+            wall: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn hit_rate_counts_both_cache_layers() {
+        let r = RunReport {
+            requested: 20,
+            memory_hits: 6,
+            disk_hits: 3,
+            executed: 1,
+            ..RunReport::default()
+        };
+        assert_eq!(r.hits(), 9);
+        assert!((r.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(RunReport::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn slowest_sorts_descending_and_truncates() {
+        let r = RunReport {
+            cell_timings: vec![timing("a", 5), timing("b", 50), timing("c", 20)],
+            ..RunReport::default()
+        };
+        let top: Vec<&str> = r.slowest(2).iter().map(|t| t.cell.as_str()).collect();
+        assert_eq!(top, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn render_mentions_the_essentials() {
+        let r = RunReport {
+            requested: 4,
+            executed: 2,
+            workers: 2,
+            worker_busy: vec![Duration::from_millis(10); 2],
+            pool_wall: Duration::from_millis(12),
+            cell_timings: vec![timing("k/BS", 7), timing("k/TS", 3)],
+            ..RunReport::default()
+        };
+        let text = r.render();
+        assert!(text.contains("2 executed"));
+        assert!(text.contains("slowest cells"));
+        assert!(text.contains("k/BS"));
+    }
+}

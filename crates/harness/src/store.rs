@@ -1,0 +1,66 @@
+//! The in-memory result store: one process-wide memo of executed cells.
+
+use crate::cell::ExperimentCell;
+use crate::engine::CellResult;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A thread-safe map from canonical cell key to result.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    inner: Mutex<HashMap<String, CellResult>>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultStore::default()
+    }
+
+    /// Looks up a cell.
+    #[must_use]
+    pub fn get(&self, cell: &ExperimentCell) -> Option<CellResult> {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .get(cell.canonical_key())
+            .cloned()
+    }
+
+    /// Whether the cell is present.
+    #[must_use]
+    pub fn contains(&self, cell: &ExperimentCell) -> bool {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .contains_key(cell.canonical_key())
+    }
+
+    /// Inserts (or overwrites — results are deterministic, so a race
+    /// between equal cells is harmless) a result.
+    pub fn insert(&self, cell: &ExperimentCell, result: CellResult) {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .insert(cell.canonical_key().to_string(), result);
+    }
+
+    /// Number of memoized cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized result (the cache round-trip tests use this
+    /// to force re-loading from disk).
+    pub fn clear(&self) {
+        self.inner.lock().expect("store poisoned").clear();
+    }
+}

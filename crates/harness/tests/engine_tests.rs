@@ -1,0 +1,165 @@
+//! Integration tests for the experiment engine: determinism across
+//! worker counts, disk-cache round trips, and cache accounting.
+
+use bsched_harness::{Engine, EngineConfig, ExperimentCell, HarnessError};
+use bsched_ir::Program;
+use bsched_pipeline::{CompileOptions, SchedulerKind};
+use bsched_workloads::lang::ast::{Expr, Index};
+use bsched_workloads::lang::{ArrayInit, Kernel};
+use std::path::PathBuf;
+
+/// A small kernel so the whole grid runs in well under a second.
+fn tiny_kernel(name: &str, n: i64, seed: u64) -> (String, Program) {
+    let mut k = Kernel::new(name);
+    let a = k.array("a", (n + 8) as u64, ArrayInit::Random(seed));
+    let out = k.array("out", (n + 8) as u64, ArrayInit::Zero);
+    let i = k.int_var("i");
+    let body = vec![k.store(
+        out,
+        Index::of(i),
+        Expr::load(a, Index::of(i)) * Expr::Float(1.5) + Expr::load(a, Index::of_plus(i, 1)),
+    )];
+    k.push(k.for_loop(i, Expr::Int(0), Expr::Int(n), body));
+    (name.to_string(), k.lower())
+}
+
+fn kernels() -> Vec<(String, Program)> {
+    vec![tiny_kernel("alpha", 48, 3), tiny_kernel("beta", 64, 11)]
+}
+
+fn cells() -> Vec<ExperimentCell> {
+    let mut cells = Vec::new();
+    for kernel in ["alpha", "beta"] {
+        for opts in [
+            CompileOptions::new(SchedulerKind::Balanced),
+            CompileOptions::new(SchedulerKind::Traditional),
+            CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
+            // Same display label as plain balanced — only the canonical
+            // key separates them.
+            CompileOptions::new(SchedulerKind::Balanced).with_weight_cap(10),
+        ] {
+            cells.push(ExperimentCell::new(kernel, opts));
+        }
+    }
+    cells
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bsched-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Debug output covers every metric field, so equal strings mean equal
+/// metrics.
+fn fingerprint(engine: &Engine, cells: &[ExperimentCell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            let r = engine.result(c).expect("cell was run");
+            assert!(r.checksum_ok);
+            format!("{c}: {:?}", r.metrics)
+        })
+        .collect()
+}
+
+#[test]
+fn results_are_identical_across_worker_counts() {
+    let cells = cells();
+    let mut baseline = None;
+    for jobs in [1usize, 4] {
+        let cfg = EngineConfig::default()
+            .with_jobs(jobs)
+            .with_disk_cache(false);
+        let engine = Engine::new(kernels(), cfg);
+        engine.run(&cells).expect("grid runs");
+        let fp = fingerprint(&engine, &cells);
+        let report = engine.report();
+        assert_eq!(report.executed, cells.len() as u64, "{jobs} workers");
+        assert_eq!(report.hits(), 0, "{jobs} workers");
+        match &baseline {
+            None => baseline = Some(fp),
+            Some(b) => assert_eq!(b, &fp, "worker count changed the results"),
+        }
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_and_counts_hits() {
+    let dir = tmp_dir("roundtrip");
+    let cells = cells();
+    let cfg = || {
+        EngineConfig::default()
+            .with_jobs(2)
+            .with_cache_dir(dir.clone())
+    };
+
+    // Cold run: everything executes, results land on disk.
+    let cold = Engine::new(kernels(), cfg());
+    cold.run(&cells).expect("cold run");
+    let want = fingerprint(&cold, &cells);
+    assert_eq!(cold.report().executed, cells.len() as u64);
+    drop(cold);
+
+    // Fresh engine, same directory: pure disk hits, nothing executes.
+    let warm = Engine::new(kernels(), cfg());
+    warm.run(&cells).expect("warm run");
+    assert_eq!(warm.report().disk_hits, cells.len() as u64);
+    assert_eq!(warm.report().executed, 0);
+    assert_eq!(fingerprint(&warm, &cells), want);
+
+    // Same engine again: now the memory layer answers.
+    warm.run(&cells).expect("memory run");
+    assert_eq!(warm.report().memory_hits, cells.len() as u64);
+
+    // Dropping memory forces the disk layer again, with equal results.
+    warm.clear_memory();
+    warm.run(&cells).expect("post-clear run");
+    assert_eq!(warm.report().disk_hits, 2 * cells.len() as u64);
+    assert_eq!(warm.report().executed, 0);
+    assert_eq!(fingerprint(&warm, &cells), want);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicates_within_a_batch_are_deduplicated() {
+    let cfg = EngineConfig::default()
+        .with_jobs(2)
+        .with_disk_cache(false);
+    let engine = Engine::new(kernels(), cfg);
+    let one = ExperimentCell::new("alpha", CompileOptions::new(SchedulerKind::Balanced));
+    let batch = vec![one.clone(), one.clone(), one.clone()];
+    engine.run(&batch).expect("runs");
+    let report = engine.report();
+    assert_eq!(report.requested, 3);
+    assert_eq!(report.deduplicated, 2);
+    assert_eq!(report.executed, 1);
+}
+
+#[test]
+fn same_label_different_options_are_distinct_cells() {
+    let cfg = EngineConfig::default()
+        .with_jobs(1)
+        .with_disk_cache(false);
+    let engine = Engine::new(kernels(), cfg);
+    let plain = ExperimentCell::new("alpha", CompileOptions::new(SchedulerKind::Balanced));
+    let capped = ExperimentCell::new(
+        "alpha",
+        CompileOptions::new(SchedulerKind::Balanced).with_weight_cap(4),
+    );
+    assert_eq!(plain.to_string(), capped.to_string(), "labels alias");
+    engine.run(&[plain.clone(), capped.clone()]).expect("runs");
+    assert_eq!(engine.report().executed, 2, "cells must not collapse");
+}
+
+#[test]
+fn unknown_kernels_are_rejected() {
+    let cfg = EngineConfig::default().with_disk_cache(false);
+    let engine = Engine::new(kernels(), cfg);
+    let cell = ExperimentCell::new("nonesuch", CompileOptions::new(SchedulerKind::Balanced));
+    match engine.run(std::slice::from_ref(&cell)) {
+        Err(HarnessError::UnknownKernel(k)) => assert_eq!(k, "nonesuch"),
+        other => panic!("expected UnknownKernel, got {other:?}"),
+    }
+}

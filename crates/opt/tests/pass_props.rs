@@ -1,14 +1,15 @@
-//! Property tests: every structural pass preserves program semantics on
-//! randomly generated canonical loops, alone and in combination.
+//! Randomized property tests: every structural pass preserves program
+//! semantics on generated canonical loops, alone and in combination.
+//! Loop plans come from the workspace's seeded [`Prng`].
 
 use bsched_ir::{Interp, Program};
 use bsched_opt::{
     copy_propagate, dead_code_elim, local_cse, peel_first_iteration, predicate_function,
     trace_schedule, unroll_loop, EdgeProfile, TraceOptions, UnrollLimits,
 };
+use bsched_util::Prng;
 use bsched_workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
 use bsched_workloads::lang::{ArrayInit, Kernel};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct LoopPlan {
@@ -21,27 +22,16 @@ struct LoopPlan {
     with_acc: bool,
 }
 
-fn arb_plan() -> impl Strategy<Value = LoopPlan> {
-    (
-        0i64..20,
-        1i64..4,
-        0i64..4,
-        0i64..4,
-        1i64..3,
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(trip, step, off1, off2, scale, with_if, with_acc)| LoopPlan {
-                trip,
-                step,
-                off1,
-                off2,
-                scale,
-                with_if,
-                with_acc,
-            },
-        )
+fn gen_plan(rng: &mut Prng) -> LoopPlan {
+    LoopPlan {
+        trip: rng.range_i64(0, 20),
+        step: rng.range_i64(1, 4),
+        off1: rng.range_i64(0, 4),
+        off2: rng.range_i64(0, 4),
+        scale: rng.range_i64(1, 3),
+        with_if: rng.coin(),
+        with_acc: rng.coin(),
+    }
 }
 
 fn build(plan: &LoopPlan) -> Program {
@@ -85,31 +75,40 @@ fn checksum(p: &Program) -> u64 {
     Interp::new(p).run().expect("program executes").checksum
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cse_and_cleanup_preserve_semantics(plan in arb_plan()) {
+#[test]
+fn cse_and_cleanup_preserve_semantics() {
+    let mut rng = Prng::new(0x0B7_0001);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
         let mut p = build(&plan);
         let want = checksum(&p);
         local_cse(p.main_mut());
         copy_propagate(p.main_mut());
         dead_code_elim(p.main_mut());
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(bsched_ir::verify_program(&p).is_ok(), "case {case}: {plan:?}");
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?}");
     }
+}
 
-    #[test]
-    fn predication_preserves_semantics(plan in arb_plan()) {
+#[test]
+fn predication_preserves_semantics() {
+    let mut rng = Prng::new(0x0B7_0002);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
         let mut p = build(&plan);
         let want = checksum(&p);
         predicate_function(p.main_mut());
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(bsched_ir::verify_program(&p).is_ok(), "case {case}: {plan:?}");
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?}");
     }
+}
 
-    #[test]
-    fn unroll_preserves_semantics(plan in arb_plan(), factor in prop_oneof![Just(2u32), Just(4), Just(8)]) {
+#[test]
+fn unroll_preserves_semantics() {
+    let mut rng = Prng::new(0x0B7_0003);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
+        let factor = [2u32, 4, 8][rng.index(3)];
         let mut p = build(&plan);
         let want = checksum(&p);
         predicate_function(p.main_mut());
@@ -117,32 +116,47 @@ proptest! {
         copy_propagate(p.main_mut());
         dead_code_elim(p.main_mut());
         let _ = unroll_loop(p.main_mut(), 0, &UnrollLimits::for_factor(factor));
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(
+            bsched_ir::verify_program(&p).is_ok(),
+            "case {case}: {plan:?} x{factor}"
+        );
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?} x{factor}");
     }
+}
 
-    #[test]
-    fn peel_preserves_semantics(plan in arb_plan()) {
+#[test]
+fn peel_preserves_semantics() {
+    let mut rng = Prng::new(0x0B7_0004);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
         let mut p = build(&plan);
         let want = checksum(&p);
         predicate_function(p.main_mut());
         let _ = peel_first_iteration(p.main_mut(), 0);
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(bsched_ir::verify_program(&p).is_ok(), "case {case}: {plan:?}");
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?}");
     }
+}
 
-    #[test]
-    fn trace_scheduling_preserves_semantics(plan in arb_plan()) {
+#[test]
+fn trace_scheduling_preserves_semantics() {
+    let mut rng = Prng::new(0x0B7_0005);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
         let mut p = build(&plan);
         let want = checksum(&p);
         let profile = EdgeProfile::collect(&p).expect("profile");
         trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(bsched_ir::verify_program(&p).is_ok(), "case {case}: {plan:?}");
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?}");
     }
+}
 
-    #[test]
-    fn full_stack_composition_preserves_semantics(plan in arb_plan()) {
+#[test]
+fn full_stack_composition_preserves_semantics() {
+    let mut rng = Prng::new(0x0B7_0006);
+    for case in 0..48 {
+        let plan = gen_plan(&mut rng);
         let mut p = build(&plan);
         let want = checksum(&p);
         predicate_function(p.main_mut());
@@ -156,7 +170,7 @@ proptest! {
         let profile = EdgeProfile::collect(&p).expect("profile");
         trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
         dead_code_elim(p.main_mut());
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
-        prop_assert_eq!(checksum(&p), want);
+        assert!(bsched_ir::verify_program(&p).is_ok(), "case {case}: {plan:?}");
+        assert_eq!(checksum(&p), want, "case {case}: {plan:?}");
     }
 }

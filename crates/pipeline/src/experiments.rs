@@ -106,6 +106,11 @@ pub fn standard_grid() -> Vec<ExperimentConfig> {
 
 /// A memoizing experiment runner: each (kernel, configuration) pair is
 /// compiled and simulated once per process.
+///
+/// This is the minimal single-threaded memoizer. The experiment
+/// binaries run on `bsched-harness`'s `Engine` instead, which adds
+/// parallel execution, an on-disk cache, and full-options cache keys;
+/// `Runner` remains for lightweight in-crate use and tests.
 #[derive(Default)]
 pub struct Runner {
     cache: HashMap<(String, String), RunResult>,
@@ -134,7 +139,10 @@ impl Runner {
         program: &Program,
         config: ExperimentConfig,
     ) -> Result<&RunResult, PipelineError> {
-        let key = (kernel_name.to_string(), config.options().label());
+        // Key on the full options debug form, not the display label —
+        // distinct configurations (e.g. differing only in weight cap or
+        // simulator parameters) can share a label.
+        let key = (kernel_name.to_string(), format!("{:?}", config.options()));
         if !self.cache.contains_key(&key) {
             let result = compile_and_run(program, &config.options())?;
             assert!(result.checksum_ok, "simulator diverged on {kernel_name}");

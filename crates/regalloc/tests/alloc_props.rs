@@ -1,10 +1,11 @@
-//! Property tests for register allocation: colorings are proper, and the
-//! rewritten code preserves semantics.
+//! Randomized property tests for register allocation: colorings are
+//! proper, and the rewritten code preserves semantics. Cases come from
+//! the workspace's seeded [`Prng`].
 
 use bsched_ir::{FuncBuilder, Interp, Op, Program, RegClass};
 use bsched_regalloc::allocate;
 use bsched_regalloc::coloring::{color, interference};
-use proptest::prelude::*;
+use bsched_util::Prng;
 
 /// Builds a straight-line program with `n` chained float values and `w`
 /// independent live webs (w controls pressure).
@@ -40,50 +41,68 @@ impl FMulSelf for FuncBuilder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn coloring_is_proper(webs in 1usize..40, chain in 0usize..4) {
+#[test]
+fn coloring_is_proper() {
+    let mut rng = Prng::new(0xA110_0001);
+    for case in 0..32 {
+        let webs = 1 + rng.index(39);
+        let chain = rng.index(4);
         let p = pressure_program(webs, chain);
         let g = interference(p.main());
         let (colors, spilled) = color(&g, 8);
         for (i, &reg) in g.nodes.iter().enumerate() {
             if let Some(&c) = colors.get(&reg) {
-                prop_assert!(c < 8);
+                assert!(c < 8, "case {case} (webs {webs}, chain {chain})");
                 for &j in &g.adj[i] {
                     if let Some(&cj) = colors.get(&g.nodes[j]) {
-                        prop_assert_ne!(c, cj, "adjacent nodes share a color");
+                        assert_ne!(
+                            c, cj,
+                            "case {case} (webs {webs}, chain {chain}): adjacent nodes share a color"
+                        );
                     }
                 }
             }
         }
         // Everything is either colored or spilled.
         for &reg in &g.nodes {
-            prop_assert!(colors.contains_key(&reg) || spilled.contains(&reg));
+            assert!(
+                colors.contains_key(&reg) || spilled.contains(&reg),
+                "case {case} (webs {webs}, chain {chain})"
+            );
         }
     }
+}
 
-    #[test]
-    fn allocation_preserves_semantics(webs in 1usize..48, chain in 0usize..3) {
+#[test]
+fn allocation_preserves_semantics() {
+    let mut rng = Prng::new(0xA110_0002);
+    for case in 0..32 {
+        let webs = 1 + rng.index(47);
+        let chain = rng.index(3);
         let mut p = pressure_program(webs, chain);
         let want = Interp::new(&p).run().unwrap().checksum;
         let stats = allocate(&mut p);
-        prop_assert!(bsched_ir::verify_program(&p).is_ok());
+        assert!(
+            bsched_ir::verify_program(&p).is_ok(),
+            "case {case} (webs {webs}, chain {chain})"
+        );
         let got = Interp::new(&p).run().unwrap().checksum;
-        prop_assert_eq!(want, got);
+        assert_eq!(want, got, "case {case} (webs {webs}, chain {chain})");
         // High web counts must spill (28 allocatable floats).
         if webs > 35 && chain == 0 {
-            prop_assert!(stats.spilled > 0 || stats.assigned >= webs as u64);
+            assert!(
+                stats.spilled > 0 || stats.assigned >= webs as u64,
+                "case {case} (webs {webs}, chain {chain})"
+            );
         }
         // No virtual registers survive.
         for (_, blk) in p.main().iter_blocks() {
             for inst in &blk.insts {
                 for &s in inst.srcs() {
-                    prop_assert!(s.is_phys());
+                    assert!(s.is_phys(), "case {case} (webs {webs}, chain {chain})");
                 }
                 if let Some(d) = inst.dst {
-                    prop_assert!(d.is_phys());
+                    assert!(d.is_phys(), "case {case} (webs {webs}, chain {chain})");
                 }
             }
         }

@@ -1,12 +1,13 @@
-//! Property tests for the timing simulator: functional behaviour is
-//! configuration-independent, and timing responds sanely to machine
-//! parameters.
+//! Randomized property tests for the timing simulator: functional
+//! behaviour is configuration-independent, and timing responds sanely
+//! to machine parameters. Cases come from the workspace's seeded
+//! [`Prng`].
 
 use bsched_ir::{Interp, Program};
 use bsched_sim::{SimConfig, Simulator};
+use bsched_util::Prng;
 use bsched_workloads::lang::ast::{Expr, Index};
 use bsched_workloads::lang::{ArrayInit, Kernel};
-use proptest::prelude::*;
 
 fn stream(n: i64, seed: u64) -> Program {
     let mut k = Kernel::new("s");
@@ -21,17 +22,15 @@ fn stream(n: i64, seed: u64) -> Program {
     k.lower()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn timing_configs_never_change_functional_results(
-        n in 1i64..96,
-        seed in 0u64..1000,
-        width in prop_oneof![Just(1u32), Just(2), Just(4)],
-        mshrs in prop_oneof![Just(1usize), Just(6)],
-        ifetch in any::<bool>(),
-    ) {
+#[test]
+fn timing_configs_never_change_functional_results() {
+    let mut rng = Prng::new(0x51A_0001);
+    for case in 0..24 {
+        let n = rng.range_i64(1, 96);
+        let seed = rng.range_u64(0, 1000);
+        let width = [1u32, 2, 4][rng.index(3)];
+        let mshrs = [1usize, 6][rng.index(2)];
+        let ifetch = rng.coin();
         let p = stream(n, seed);
         let reference = Interp::new(&p).run().unwrap().checksum;
         let cfg = SimConfig::default()
@@ -39,39 +38,72 @@ proptest! {
             .with_mshrs(mshrs)
             .with_ifetch(ifetch);
         let sim = Simulator::new(&p, cfg).run().unwrap();
-        prop_assert_eq!(sim.checksum, reference);
-        prop_assert!(sim.metrics.cycles >= sim.metrics.insts.total() / u64::from(width).max(1));
+        assert_eq!(sim.checksum, reference, "case {case} (n {n}, seed {seed})");
+        assert!(
+            sim.metrics.cycles >= sim.metrics.insts.total() / u64::from(width).max(1),
+            "case {case} (n {n}, seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn wider_issue_never_slows_down(n in 8i64..96, seed in 0u64..100) {
+#[test]
+fn wider_issue_never_slows_down() {
+    let mut rng = Prng::new(0x51A_0002);
+    for case in 0..24 {
+        let n = rng.range_i64(8, 96);
+        let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
         let w1 = Simulator::new(&p, base).run().unwrap().metrics.cycles;
-        let w4 = Simulator::new(&p, base.with_issue_width(4)).run().unwrap().metrics.cycles;
-        prop_assert!(w4 <= w1, "width 4 {} vs width 1 {}", w4, w1);
+        let w4 = Simulator::new(&p, base.with_issue_width(4))
+            .run()
+            .unwrap()
+            .metrics
+            .cycles;
+        assert!(w4 <= w1, "case {case}: width 4 {w4} vs width 1 {w1}");
     }
+}
 
-    #[test]
-    fn more_mshrs_never_slow_down(n in 8i64..96, seed in 0u64..100) {
+#[test]
+fn more_mshrs_never_slow_down() {
+    let mut rng = Prng::new(0x51A_0003);
+    for case in 0..24 {
+        let n = rng.range_i64(8, 96);
+        let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
-        let m1 = Simulator::new(&p, base.with_mshrs(1)).run().unwrap().metrics.cycles;
-        let m6 = Simulator::new(&p, base.with_mshrs(6)).run().unwrap().metrics.cycles;
-        prop_assert!(m6 <= m1, "6 MSHRs {} vs 1 MSHR {}", m6, m1);
+        let m1 = Simulator::new(&p, base.with_mshrs(1))
+            .run()
+            .unwrap()
+            .metrics
+            .cycles;
+        let m6 = Simulator::new(&p, base.with_mshrs(6))
+            .run()
+            .unwrap()
+            .metrics
+            .cycles;
+        assert!(m6 <= m1, "case {case}: 6 MSHRs {m6} vs 1 MSHR {m1}");
     }
+}
 
-    #[test]
-    fn cycle_accounting_is_complete(n in 4i64..64, seed in 0u64..100) {
+#[test]
+fn cycle_accounting_is_complete() {
+    let mut rng = Prng::new(0x51A_0004);
+    for case in 0..24 {
+        let n = rng.range_i64(4, 64);
+        let seed = rng.range_u64(0, 100);
         // Interlocks + penalties never exceed total cycles.
         let p = stream(n, seed);
-        let m = Simulator::new(&p, SimConfig::default()).run().unwrap().metrics;
+        let m = Simulator::new(&p, SimConfig::default())
+            .run()
+            .unwrap()
+            .metrics;
         let accounted = m.load_interlock
             + m.fixed_interlock
             + m.branch_penalty
             + m.store_stall
             + m.fetch_stall
             + m.tlb_stall;
-        prop_assert!(accounted <= m.cycles, "{:?}", m);
+        assert!(accounted <= m.cycles, "case {case}: {m:?}");
     }
 }

@@ -18,8 +18,7 @@ use super::{ArrayInit, Kernel};
 use bsched_ir::{
     Bound, BrCond, CountedLoop, FuncBuilder, Inst, Op, Program, Reg, RegClass, Region, RegionId,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsched_util::Prng;
 
 struct Lowerer<'k> {
     k: &'k Kernel,
@@ -78,10 +77,8 @@ fn gen_init(elems: u64, init: &ArrayInit) -> Vec<f64> {
         ArrayInit::Zero => vec![0.0; n],
         ArrayInit::Ramp(start, step) => (0..n).map(|i| start + step * i as f64).collect(),
         ArrayInit::Random(seed) => {
-            let mut rng = StdRng::seed_from_u64(*seed);
-            (0..n)
-                .map(|_| rng.gen_range(0.0f64..1.0) + f64::EPSILON)
-                .collect()
+            let mut rng = Prng::new(*seed);
+            (0..n).map(|_| rng.next_f64() + f64::EPSILON).collect()
         }
         ArrayInit::Values(v) => {
             let mut out = v.clone();

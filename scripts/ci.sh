@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# CI entry point: build everything, run the test suites, then smoke the
+# experiment harness end to end on a two-kernel subset of the grid.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (workspace, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== smoke: all_experiments on 2 kernels, cold vs warm cache =="
+SMOKE_CACHE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_CACHE"' EXIT
+run_smoke() {
+    BSCHED_JOBS="$1" BSCHED_CACHE_DIR="$SMOKE_CACHE" \
+        ./target/release/all_experiments --kernels ARC2D,TRFD
+}
+cold="$(run_smoke 2)"
+warm="$(run_smoke 1)"
+[ "$cold" = "$warm" ] || { echo "FAIL: cold/warm or 2-vs-1-worker output differs"; exit 1; }
+# Header + 2 kernels x 15 configurations.
+lines="$(printf '%s\n' "$cold" | wc -l)"
+[ "$lines" -eq 31 ] || { echo "FAIL: expected 31 output lines, got $lines"; exit 1; }
+
+echo "CI OK"

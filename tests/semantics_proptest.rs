@@ -1,16 +1,17 @@
-//! Property-based semantics testing: random kernels run through every
+//! Randomized semantics testing: random kernels run through every
 //! optimization pipeline must preserve the observable memory image.
 //!
 //! The pipeline itself cross-checks each compilation against the
 //! reference interpreter (`PipelineError::ChecksumMismatch`), so the
 //! property here is simply "compilation succeeds" over a randomized
 //! kernel space that exercises loops, strides, nested conditionals,
-//! selects, reductions and 2-D accesses.
+//! selects, reductions and 2-D accesses. Plans come from the
+//! workspace's seeded [`Prng`] so every run covers the same corpus.
 
 use balanced_scheduling::pipeline::{compile, CompileOptions, SchedulerKind};
 use balanced_scheduling::workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
 use balanced_scheduling::workloads::lang::{ArrayInit, Kernel};
-use proptest::prelude::*;
+use bsched_util::Prng;
 
 /// A compact, data-first description of a random kernel.
 #[derive(Debug, Clone)]
@@ -44,46 +45,57 @@ enum ExprPlan {
     AccRef,
 }
 
-fn arb_expr() -> impl Strategy<Value = ExprPlan> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(ExprPlan::Const),
-        (0i64..4).prop_map(|off| ExprPlan::LoadIn { off }),
-        (1i64..3).prop_map(|stride| ExprPlan::LoadStrided { stride }),
-        Just(ExprPlan::AccRef),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprPlan::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprPlan::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| ExprPlan::Select(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(rng: &mut Prng, depth: usize) -> ExprPlan {
+    // Half the draws recurse while depth remains, mirroring proptest's
+    // `prop_recursive(3, ...)` shape.
+    if depth > 0 && rng.coin() {
+        let a = Box::new(gen_expr(rng, depth - 1));
+        let b = Box::new(gen_expr(rng, depth - 1));
+        match rng.index(3) {
+            0 => ExprPlan::Mul(a, b),
+            1 => ExprPlan::Add(a, b),
+            _ => ExprPlan::Select(a, b),
+        }
+    } else {
+        match rng.index(4) {
+            0 => ExprPlan::Const(rng.next_u32() as i8),
+            1 => ExprPlan::LoadIn {
+                off: rng.range_i64(0, 4),
+            },
+            2 => ExprPlan::LoadStrided {
+                stride: rng.range_i64(1, 3),
+            },
+            _ => ExprPlan::AccRef,
+        }
+    }
 }
 
-fn arb_stmt() -> impl Strategy<Value = StmtPlan> {
-    prop_oneof![
-        ((0i64..4), arb_expr()).prop_map(|(off, expr)| StmtPlan::Store { off, expr }),
-        arb_expr().prop_map(|expr| StmtPlan::Accumulate { expr }),
-        (arb_expr(), arb_expr()).prop_map(|(e1, e2)| StmtPlan::BranchStores { e1, e2 }),
-        arb_expr().prop_map(|e| StmtPlan::BranchAcc { e }),
-    ]
+fn gen_stmt(rng: &mut Prng) -> StmtPlan {
+    match rng.index(4) {
+        0 => StmtPlan::Store {
+            off: rng.range_i64(0, 4),
+            expr: gen_expr(rng, 3),
+        },
+        1 => StmtPlan::Accumulate {
+            expr: gen_expr(rng, 3),
+        },
+        2 => StmtPlan::BranchStores {
+            e1: gen_expr(rng, 3),
+            e2: gen_expr(rng, 3),
+        },
+        _ => StmtPlan::BranchAcc {
+            e: gen_expr(rng, 3),
+        },
+    }
 }
 
-fn arb_plan() -> impl Strategy<Value = KernelPlan> {
-    (
-        (16u64..64),
-        (0i64..24),
-        (1i64..4),
-        prop::collection::vec(arb_stmt(), 1..4),
-    )
-        .prop_map(|(array_elems, trip, step, stmts)| KernelPlan {
-            array_elems,
-            trip,
-            step,
-            stmts,
-        })
+fn gen_plan(rng: &mut Prng) -> KernelPlan {
+    KernelPlan {
+        array_elems: rng.range_u64(16, 64),
+        trip: rng.range_i64(0, 24),
+        step: rng.range_i64(1, 4),
+        stmts: (0..1 + rng.index(3)).map(|_| gen_stmt(rng)).collect(),
+    }
 }
 
 fn build(plan: &KernelPlan) -> bsched_ir::Program {
@@ -98,9 +110,9 @@ fn build(plan: &KernelPlan) -> bsched_ir::Program {
 
     fn expr(
         plan: &ExprPlan,
-        input: bsched_workloads::lang::ast::ArrId,
-        i: bsched_workloads::lang::ast::VarId,
-        acc: bsched_workloads::lang::ast::VarId,
+        input: balanced_scheduling::workloads::lang::ast::ArrId,
+        i: balanced_scheduling::workloads::lang::ast::VarId,
+        acc: balanced_scheduling::workloads::lang::ast::VarId,
     ) -> Expr {
         match plan {
             ExprPlan::Const(c) => Expr::Float(f64::from(*c) / 16.0),
@@ -150,24 +162,36 @@ fn build(plan: &KernelPlan) -> bsched_ir::Program {
     k.lower()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_pipeline_preserves_semantics(plan in arb_plan()) {
+#[test]
+fn every_pipeline_preserves_semantics() {
+    let mut rng = Prng::new(0x5E3A_0001);
+    for case in 0..24 {
+        let plan = gen_plan(&mut rng);
         let program = build(&plan);
-        prop_assert!(bsched_ir::verify_program(&program).is_ok());
+        assert!(
+            bsched_ir::verify_program(&program).is_ok(),
+            "case {case}: {plan:?}"
+        );
         for opts in [
             CompileOptions::new(SchedulerKind::Traditional),
             CompileOptions::new(SchedulerKind::Balanced),
             CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
-            CompileOptions::new(SchedulerKind::Balanced).with_unroll(8).with_trace(),
-            CompileOptions::new(SchedulerKind::Balanced).with_unroll(4).with_locality(),
+            CompileOptions::new(SchedulerKind::Balanced)
+                .with_unroll(8)
+                .with_trace(),
+            CompileOptions::new(SchedulerKind::Balanced)
+                .with_unroll(4)
+                .with_locality(),
         ] {
             // compile() internally interprets the result and fails on any
             // observable-memory divergence.
             let r = compile(&program, &opts);
-            prop_assert!(r.is_ok(), "{}: {:?}", opts.label(), r.err().map(|e| e.to_string()));
+            assert!(
+                r.is_ok(),
+                "case {case}: {}: {:?}",
+                opts.label(),
+                r.err().map(|e| e.to_string())
+            );
         }
     }
 }
