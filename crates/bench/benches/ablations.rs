@@ -3,13 +3,16 @@
 //! headline configuration is also timed by the microbench helper.
 
 use bsched_bench::microbench::bench;
-use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use bsched_pipeline::{CompileOptions, Experiment, SchedulerKind};
 use bsched_sim::SimConfig;
-use bsched_workloads::kernel_by_name;
 
 fn cycles(name: &str, opts: &CompileOptions) -> u64 {
-    let p = kernel_by_name(name).expect("kernel exists").program();
-    compile_and_run(&p, opts)
+    Experiment::builder()
+        .kernel(name)
+        .compile_options(*opts)
+        .build()
+        .expect("kernel exists")
+        .run()
         .expect("pipeline succeeds")
         .metrics
         .cycles
@@ -66,18 +69,21 @@ fn main() {
         k.push(k.store(out, Index::constant(0), Expr::Var(s)));
         k.lower()
     };
-    let with_pred = compile_and_run(
-        &prog,
-        &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
-    )
-    .expect("pipeline succeeds");
-    let without = compile_and_run(
-        &prog,
-        &CompileOptions::new(SchedulerKind::Balanced)
+    let run_cond = |opts: CompileOptions| {
+        Experiment::builder()
+            .program("cond", prog.clone())
+            .compile_options(opts)
+            .build()
+            .expect("program supplied")
+            .run()
+            .expect("pipeline succeeds")
+    };
+    let with_pred = run_cond(CompileOptions::new(SchedulerKind::Balanced).with_unroll(4));
+    let without = run_cond(
+        CompileOptions::new(SchedulerKind::Balanced)
             .with_unroll(4)
             .without_predication(),
-    )
-    .expect("pipeline succeeds");
+    );
     println!(
         "  predicated: {} cycles ({} loops unrolled), unpredicated: {} cycles ({} loops unrolled)",
         with_pred.metrics.cycles,

@@ -2,13 +2,11 @@
 //! configuration.
 
 use bsched_bench::microbench::bench;
-use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
-use bsched_workloads::kernel_by_name;
+use bsched_pipeline::{CompileOptions, Experiment, SchedulerKind};
 
 fn main() {
     println!("end_to_end:");
     for name in ["su2cor", "tomcatv", "spice2g6"] {
-        let p = kernel_by_name(name).expect("kernel exists").program();
         for (label, opts) in [
             ("BS", CompileOptions::new(SchedulerKind::Balanced)),
             ("TS", CompileOptions::new(SchedulerKind::Traditional)),
@@ -17,8 +15,13 @@ fn main() {
                 CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
             ),
         ] {
+            let session = Experiment::builder()
+                .kernel(name)
+                .compile_options(opts)
+                .build()
+                .expect("kernel exists");
             bench(&format!("end_to_end/{label}/{name}"), || {
-                compile_and_run(&p, &opts).unwrap()
+                session.run().unwrap()
             });
         }
     }

@@ -5,6 +5,8 @@
 //! the pass work itself.
 
 use bsched_bench::microbench::bench;
+use bsched_core::{schedule_function, SchedulerKind, WeightConfig};
+use bsched_ir::{Dag, DagAnalysis};
 use bsched_opt::{
     apply_locality, local_cse, predicate_function, trace_schedule, unroll_function, EdgeProfile,
     LocalityOptions, TraceOptions, UnrollLimits,
@@ -44,6 +46,30 @@ fn main() {
         bench("passes/trace_schedule", || {
             let mut p = src.clone();
             trace_schedule(p.main_mut(), &profile, &TraceOptions::default());
+            p
+        });
+    }
+    {
+        // The shared DAG analysis (independence matrix + comparability
+        // adjacency) on the kernel's largest block, and the scheduling
+        // pass that consumes it.
+        let mut pre = src.clone();
+        local_cse(pre.main_mut());
+        unroll_function(pre.main_mut(), &UnrollLimits::for_factor(8));
+        let insts = pre
+            .main()
+            .blocks()
+            .iter()
+            .max_by_key(|b| b.len())
+            .map(|b| b.insts.clone())
+            .unwrap_or_default();
+        let dag = Dag::new(&insts);
+        bench(&format!("passes/dag_analysis/{}", insts.len()), || {
+            DagAnalysis::compute(&dag, &insts)
+        });
+        bench("passes/schedule_balanced", || {
+            let mut p = pre.clone();
+            schedule_function(p.main_mut(), &WeightConfig::new(SchedulerKind::Balanced));
             p
         });
     }

@@ -2,13 +2,17 @@
 //! second) on a compiled kernel.
 
 use bsched_bench::microbench::{bench, fmt_duration};
-use bsched_pipeline::{compile, CompileOptions, SchedulerKind};
+use bsched_pipeline::{Experiment, SchedulerKind};
 use bsched_sim::{SimConfig, Simulator};
-use bsched_workloads::kernel_by_name;
 
 fn main() {
-    let p = kernel_by_name("su2cor").expect("kernel exists").program();
-    let compiled = compile(&p, &CompileOptions::new(SchedulerKind::Balanced)).expect("compiles");
+    let compiled = Experiment::builder()
+        .kernel("su2cor")
+        .scheduler(SchedulerKind::Balanced)
+        .build()
+        .expect("kernel exists")
+        .compile()
+        .expect("compiles");
     let sim0 = Simulator::new(&compiled.program, SimConfig::default())
         .run()
         .expect("runs");

@@ -1,11 +1,49 @@
-//! Cost of the balanced load-weight computation (transitive closure +
-//! coverage components) as region size grows.
+//! Cost of the balanced load-weight computation as region size grows,
+//! with a **naive** arm (the retained per-contributor reference walk,
+//! [`compute_weights_reference`]) against the **kernel** arm (the bitset
+//! DAG-analysis fast path, [`compute_weights`]) on the same regions.
+//!
+//! Regions come from two sources: synthetic wide load/FP regions, and
+//! the largest scheduled blocks of real suite kernels compiled at
+//! unroll factor 8 — the shapes where the paper's balanced weights
+//! dominate compile time.
+//!
+//! Flags:
+//!
+//! * `--e2e` — also time the full pipeline (compile + verify +
+//!   simulate) with the weight kernel against the same pipeline forced
+//!   through the naive reference (`reference_weights`);
+//! * `--json PATH` — also write the measurements as JSON (the committed
+//!   `BENCH_pr2.json` is produced this way by `scripts/ci.sh`);
+//! * `--check BASELINE` — after measuring, compare per-case
+//!   naive:kernel speedups against a previously recorded JSON and fail
+//!   (exit 1) if any case regressed by more than 10 %. Speedup ratios,
+//!   not wall times, are compared so the check is machine-independent;
+//!   whole-pipeline `e2e/` cases are recorded but exempt (the weight
+//!   share of a full run varies with simulator load).
 
 use bsched_bench::microbench::bench;
-use bsched_core::{compute_weights, SchedulerKind, WeightConfig};
+use bsched_core::{compute_weights, compute_weights_reference, SchedulerKind, WeightConfig};
 use bsched_ir::{Dag, Inst, Op, Reg, RegClass, RegionId};
+use bsched_pipeline::{CompileOptions, Experiment};
+use std::fmt::Write as _;
 
-fn region(n_loads: u32) -> Vec<Inst> {
+/// One region measured under both arms.
+struct Case {
+    name: String,
+    insts: usize,
+    loads: usize,
+    naive_ns: u128,
+    kernel_ns: u128,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.naive_ns as f64 / self.kernel_ns.max(1) as f64
+    }
+}
+
+fn synthetic_region(n_loads: u32) -> Vec<Inst> {
     let r = |n| Reg::virt(RegClass::Int, n);
     let f = |n| Reg::virt(RegClass::Float, n);
     let mut insts = Vec::new();
@@ -16,15 +54,198 @@ fn region(n_loads: u32) -> Vec<Inst> {
     insts
 }
 
+/// The largest scheduled block of `kernel` compiled at unroll factor 8.
+fn unroll8_region(kernel: &str) -> Vec<Inst> {
+    let compiled = Experiment::builder()
+        .kernel(kernel)
+        .compile_options(CompileOptions::new(SchedulerKind::Balanced).with_unroll(8))
+        .build()
+        .expect("kernel exists")
+        .compile()
+        .expect("compiles");
+    compiled
+        .program
+        .main()
+        .blocks()
+        .iter()
+        .max_by_key(|b| b.len())
+        .map(|b| b.insts.clone())
+        .unwrap_or_default()
+}
+
+fn measure(name: &str, insts: &[Inst]) -> Case {
+    let dag = Dag::new(insts);
+    let loads = insts.iter().filter(|i| i.op.is_load()).count();
+    let config = WeightConfig::new(SchedulerKind::Balanced);
+    let naive = bench(&format!("weights/naive/{name}"), || {
+        compute_weights_reference(insts, &dag, &config)
+    });
+    let kernel = bench(&format!("weights/kernel/{name}"), || {
+        compute_weights(insts, &dag, &config)
+    });
+    let case = Case {
+        name: name.to_string(),
+        insts: insts.len(),
+        loads,
+        naive_ns: naive.median.as_nanos(),
+        kernel_ns: kernel.median.as_nanos(),
+    };
+    println!(
+        "  {:<44} speedup {:>8.1}x  ({} insts, {} loads)",
+        case.name,
+        case.speedup(),
+        case.insts,
+        case.loads
+    );
+    case
+}
+
+fn to_json(cases: &[Case]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"weights\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"insts\": {}, \"loads\": {}, \
+             \"naive_ns\": {}, \"kernel_ns\": {}, \"speedup\": {:.2}}}{comma}",
+            c.name,
+            c.insts,
+            c.loads,
+            c.naive_ns,
+            c.kernel_ns,
+            c.speedup()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `(name, speedup)` pairs back out of [`to_json`]'s output.
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    json.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|l| {
+            let name = field(l, "name")?;
+            let speedup = field(l, "speedup")?.parse().ok()?;
+            Some((name, speedup))
+        })
+        .collect()
+}
+
 fn main() {
-    println!("weights:");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires a path argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let json_path = flag_value("--json");
+    let check_path = flag_value("--check");
+
+    println!("weights (naive reference vs bitset kernel, balanced):");
+    let mut cases = Vec::new();
     for n in [8u32, 32, 96] {
-        let insts = region(n);
-        let dag = Dag::new(&insts);
-        for kind in [SchedulerKind::Traditional, SchedulerKind::Balanced] {
-            bench(&format!("weights/{}/{}", kind.label(), insts.len()), || {
-                compute_weights(&insts, &dag, &WeightConfig::new(kind))
-            });
+        let insts = synthetic_region(n);
+        cases.push(measure(&format!("synth/{}", insts.len()), &insts));
+    }
+    for kernel in ["tomcatv", "su2cor"] {
+        let insts = unroll8_region(kernel);
+        cases.push(measure(&format!("unroll8/{kernel}/{}", insts.len()), &insts));
+    }
+
+    if args.iter().any(|a| a == "--e2e") {
+        // The whole scheduling pass (liveness + per-block weights +
+        // list scheduling over every block of the compiled function),
+        // with the weights forced through either arm.
+        println!("end-to-end (whole scheduling pass, naive weights vs kernel):");
+        for kernel in ["tomcatv", "su2cor"] {
+            let compiled = Experiment::builder()
+                .kernel(kernel)
+                .compile_options(
+                    CompileOptions::new(SchedulerKind::Balanced)
+                        .with_unroll(8)
+                        .with_trace(),
+                )
+                .build()
+                .expect("kernel exists")
+                .compile()
+                .expect("compiles");
+            let func = compiled.program.main();
+            let insts = func.inst_count();
+            let run = |reference: bool| {
+                let config = WeightConfig::new(SchedulerKind::Balanced).with_reference(reference);
+                bench(
+                    &format!(
+                        "e2e/{}/{kernel}_bs_lu8t",
+                        if reference { "naive" } else { "kernel" }
+                    ),
+                    || {
+                        let mut f = func.clone();
+                        bsched_core::schedule_function(&mut f, &config);
+                        f
+                    },
+                )
+            };
+            let naive = run(true);
+            let fast = run(false);
+            let case = Case {
+                name: format!("e2e/{kernel}_bs_lu8t"),
+                insts,
+                loads: 0,
+                naive_ns: naive.median.as_nanos(),
+                kernel_ns: fast.median.as_nanos(),
+            };
+            println!("  {:<44} speedup {:>8.2}x", case.name, case.speedup());
+            cases.push(case);
         }
+    }
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, to_json(&cases)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut failed = false;
+        for (name, base) in parse_baseline(&baseline) {
+            if name.starts_with("e2e/") {
+                continue;
+            }
+            let Some(case) = cases.iter().find(|c| c.name == name) else {
+                continue;
+            };
+            let now = case.speedup();
+            if now < base * 0.9 {
+                eprintln!(
+                    "REGRESSION: weights/{name} speedup {now:.1}x is more than 10% \
+                     below the recorded {base:.1}x"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check vs {path}: ok");
     }
 }

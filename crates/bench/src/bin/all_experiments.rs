@@ -9,11 +9,12 @@
 //! across runs.
 //!
 //! `--kernels NAME,NAME,...` restricts the grid to a subset (used by
-//! `scripts/ci.sh` for a fast smoke run).
+//! `scripts/ci.sh` for a fast smoke run). Unknown names are rejected
+//! with the list of valid choices.
 
 use bsched_bench::Grid;
 use bsched_harness::ExperimentCell;
-use bsched_pipeline::standard_grid;
+use bsched_pipeline::{resolve_kernel, standard_grid};
 use std::fmt::Write as _;
 
 fn main() {
@@ -35,11 +36,16 @@ fn main() {
     let kernels: Vec<String> = match &filter {
         None => grid.kernel_names(),
         Some(want) => {
-            let known = grid.kernel_names();
             for w in want {
-                assert!(known.contains(w), "unknown kernel {w:?}; known: {known:?}");
+                if let Err(e) = resolve_kernel(w) {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
             }
-            known.into_iter().filter(|k| want.contains(k)).collect()
+            grid.kernel_names()
+                .into_iter()
+                .filter(|k| want.contains(k))
+                .collect()
         }
     };
     let cells: Vec<ExperimentCell> = kernels

@@ -58,4 +58,4 @@ pub use scheduler::{
     schedule_region_bounded, schedule_region_full, schedule_region_with_pressure, TieBreak,
     PRESSURE_LIMIT,
 };
-pub use weights::{compute_weights, SchedulerKind, WeightConfig};
+pub use weights::{compute_weights, compute_weights_reference, SchedulerKind, WeightConfig};

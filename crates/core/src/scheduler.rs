@@ -143,6 +143,18 @@ pub fn schedule_region_full(
     }
 
     let mut pred_left: Vec<usize> = (0..n).map(|i| dag.preds(i).len()).collect();
+    // exposed[i] = number of successor edges of i whose target has exactly
+    // one unsatisfied predecessor edge left (tie-break heuristic 2).
+    // Maintained incrementally as pred counts drop, instead of re-walking
+    // every candidate's successor list on every cycle.
+    let mut exposed: Vec<usize> = (0..n)
+        .map(|i| {
+            dag.succs(i)
+                .iter()
+                .filter(|&&(t, _)| pred_left[t as usize] == 1)
+                .count()
+        })
+        .collect();
     let mut earliest: Vec<u64> = vec![0; n];
     let mut available: Vec<usize> = (0..n).filter(|&i| pred_left[i] == 0).collect();
     let mut scheduled = vec![false; n];
@@ -152,18 +164,15 @@ pub fn schedule_region_full(
     while order.len() < n {
         // Ready = available whose operands are ready at `cycle`.
         let mut best: Option<usize> = None;
+        let mut best_pos = 0usize;
         let mut best_key = (false, 0u64, 0u64, i64::MIN, i64::MIN, usize::MAX);
         let mut min_earliest = u64::MAX;
-        for &i in &available {
+        for (pos, &i) in available.iter().enumerate() {
             if earliest[i] > cycle {
                 min_earliest = min_earliest.min(earliest[i]);
                 continue;
             }
-            let exposed = dag
-                .succs(i)
-                .iter()
-                .filter(|&&(t, _)| pred_left[t as usize] == 1)
-                .count();
+            let exposed = exposed[i];
             // When a class is at its live-value ceiling, candidates whose
             // *net* effect grows it further are demoted below every
             // candidate that does not (the boolean leads the key). The
@@ -218,6 +227,7 @@ pub fn schedule_region_full(
             let key = (relieves, gate_rank, prio[i], t1, t2, usize::MAX - i);
             if best.is_none() || key > best_key {
                 best = Some(i);
+                best_pos = pos;
                 best_key = key;
             }
         }
@@ -236,7 +246,7 @@ pub fn schedule_region_full(
         }
 
         scheduled[pick] = true;
-        available.retain(|&i| i != pick);
+        available.swap_remove(best_pos);
         order.push(pick);
         // Live-value bookkeeping: last scheduled use frees the register,
         // a def with remaining uses occupies one.
@@ -271,8 +281,19 @@ pub fn schedule_region_full(
             };
             earliest[t] = earliest[t].max(cycle + lat);
             pred_left[t] -= 1;
-            if pred_left[t] == 0 {
-                available.push(t);
+            match pred_left[t] {
+                0 => available.push(t),
+                // One predecessor edge left: every remaining unscheduled
+                // predecessor (there is exactly one instruction, possibly
+                // with multiple edges) now counts `t` as newly exposable.
+                1 => {
+                    for &(p, _) in dag.preds(t) {
+                        if !scheduled[p as usize] {
+                            exposed[p as usize] += 1;
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         cycle += 1;

@@ -16,9 +16,23 @@
 //! A load's weight is the optimistic hit latency plus its accumulated
 //! credit, capped at the maximum memory latency (50 cycles, paper §4.2
 //! footnote 1).
+//!
+//! # Two implementations
+//!
+//! [`compute_weights`] runs on the shared [`DagAnalysis`] bitset kernel:
+//! the per-contributor covered-load set is one row-AND over u64 blocks,
+//! and the component credits for each distinct covered set are computed
+//! once (bitset BFS over the precomputed comparability adjacency) and
+//! replayed for every contributor sharing it — on unrolled bodies most
+//! do. [`compute_weights_reference`] is the retained naive walk
+//! (per-contributor DAG probes + union-find); it is the executable
+//! specification that the property tests hold the kernel against, and
+//! the "before" half of the `weights` microbench. Both accumulate each
+//! load's credits in the same (program) order with the same `1/k`
+//! values, so their results are bit-for-bit identical.
 
 use bsched_ir::opcode::latency;
-use bsched_ir::{Dag, Inst, LocalityHint};
+use bsched_ir::{Dag, DagAnalysis, Inst, LocalityHint};
 
 /// Which load-weight policy the scheduler runs with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -43,6 +57,13 @@ impl SchedulerKind {
             SchedulerKind::SelectiveBalanced => "BS+LA",
         }
     }
+
+    /// All three policies, in table order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Traditional,
+        SchedulerKind::Balanced,
+        SchedulerKind::SelectiveBalanced,
+    ];
 }
 
 /// Weight-computation configuration.
@@ -53,6 +74,11 @@ pub struct WeightConfig {
     /// Cap on balanced load weights; the paper uses the 50-cycle maximum
     /// memory latency. Exposed for the `weight_cap` ablation bench.
     pub cap: u32,
+    /// Route [`compute_weights`] through the retained naive reference
+    /// implementation instead of the bitset kernel. The results are
+    /// identical; only the cost differs. Used by the perf-trajectory
+    /// benches to measure the end-to-end before/after in one process.
+    pub reference: bool,
 }
 
 impl WeightConfig {
@@ -62,6 +88,7 @@ impl WeightConfig {
         WeightConfig {
             kind,
             cap: latency::MAX_LOAD,
+            reference: false,
         }
     }
 
@@ -69,6 +96,13 @@ impl WeightConfig {
     #[must_use]
     pub fn with_cap(mut self, cap: u32) -> Self {
         self.cap = cap;
+        self
+    }
+
+    /// Selects the naive reference implementation (benching only).
+    #[must_use]
+    pub fn with_reference(mut self, reference: bool) -> Self {
+        self.reference = reference;
         self
     }
 }
@@ -104,7 +138,14 @@ fn is_balanced_load(inst: &Inst, kind: SchedulerKind) -> bool {
     }
 }
 
-/// Computes per-instruction scheduling weights for a straight-line region.
+/// Finalizes a load's weight from its accumulated credit.
+fn cap_weight(credit: f64, cap: u32) -> u32 {
+    let w = f64::from(latency::LOAD_HIT) + credit;
+    (w.round() as u32).min(cap).max(latency::LOAD_HIT)
+}
+
+/// Computes per-instruction scheduling weights for a straight-line region
+/// on the shared bitset DAG-analysis kernel.
 ///
 /// Non-loads always get their fixed architectural latency; loads get the
 /// policy-dependent weight described in the module docs.
@@ -114,6 +155,81 @@ fn is_balanced_load(inst: &Inst, kind: SchedulerKind) -> bool {
 /// Panics if `dag.len() != insts.len()`.
 #[must_use]
 pub fn compute_weights(insts: &[Inst], dag: &Dag, config: &WeightConfig) -> Vec<u32> {
+    assert_eq!(insts.len(), dag.len(), "DAG does not match region");
+    if config.reference {
+        return compute_weights_reference(insts, dag, config);
+    }
+    let mut weights: Vec<u32> = insts.iter().map(|i| i.op.latency()).collect();
+    if config.kind == SchedulerKind::Traditional
+        || !insts.iter().any(|i| is_balanced_load(i, config.kind))
+    {
+        return weights;
+    }
+
+    let analysis: &DagAnalysis = dag.analysis(insts);
+    let words = analysis.row_words();
+
+    // Mask (over load slots) of the loads the policy balances.
+    let mut bal_mask = vec![0u64; words];
+    for (s, &l) in analysis.loads().iter().enumerate() {
+        if is_balanced_load(&insts[l as usize], config.kind) {
+            bal_mask[s / 64] |= 1 << (s % 64);
+        }
+    }
+
+    // Per-slot credit accumulators. Each contributor adds its component
+    // shares in ascending slot order — the same per-load addition
+    // sequence as the reference implementation, so the f64 results are
+    // bitwise identical.
+    let mut credit = vec![0f64; analysis.num_loads()];
+    let mut covered = vec![0u64; words];
+    for (i, inst) in insts.iter().enumerate() {
+        if !contributes(inst, config.kind) {
+            continue;
+        }
+        let row = analysis.independent_loads(i);
+        let mut any = 0u64;
+        for w in 0..words {
+            covered[w] = row[w] & bal_mask[w];
+            any |= covered[w];
+        }
+        if any == 0 {
+            continue;
+        }
+        let shares = analysis.component_credits(&covered);
+        let mut rank = 0usize;
+        for (w, &bits) in covered.iter().enumerate() {
+            let mut b = bits;
+            while b != 0 {
+                let s = w * 64 + b.trailing_zeros() as usize;
+                credit[s] += shares[rank];
+                rank += 1;
+                b &= b - 1;
+            }
+        }
+    }
+
+    for (s, &l) in analysis.loads().iter().enumerate() {
+        if bal_mask[s / 64] >> (s % 64) & 1 == 1 {
+            weights[l as usize] = cap_weight(credit[s], config.cap);
+        }
+    }
+    weights
+}
+
+/// The retained naive weight computation: per-contributor DAG
+/// reachability probes and an O(k²) union-find over the covered loads.
+///
+/// This is the executable specification of the balanced weights — kept
+/// as the oracle for the kernel's property tests and as the "before"
+/// half of the perf trajectory. Produces bit-identical results to
+/// [`compute_weights`].
+///
+/// # Panics
+///
+/// Panics if `dag.len() != insts.len()`.
+#[must_use]
+pub fn compute_weights_reference(insts: &[Inst], dag: &Dag, config: &WeightConfig) -> Vec<u32> {
     assert_eq!(insts.len(), dag.len(), "DAG does not match region");
     let mut weights: Vec<u32> = insts.iter().map(|i| i.op.latency()).collect();
 
@@ -170,8 +286,7 @@ pub fn compute_weights(insts: &[Inst], dag: &Dag, config: &WeightConfig) -> Vec<
     }
 
     for &l in &balanced {
-        let w = latency::LOAD_HIT as f64 + credit[l];
-        weights[l] = (w.round() as u32).min(config.cap).max(latency::LOAD_HIT);
+        weights[l] = cap_weight(credit[l], config.cap);
     }
     weights
 }
@@ -234,6 +349,33 @@ mod tests {
         // Total: L0 = 2 + 1 + 1 + 1 = 5, L2 = 2 + 0.5 + 0.5 = 3.
         assert_eq!(w[l0], 5);
         assert_eq!(w[l2], 3);
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_figure1() {
+        let insts = figure1();
+        let dag = Dag::new(&insts);
+        for kind in SchedulerKind::ALL {
+            let cfg = WeightConfig::new(kind);
+            assert_eq!(
+                compute_weights(&insts, &dag, &cfg),
+                compute_weights_reference(&insts, &dag, &cfg),
+                "kernel diverges from reference under {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_flag_routes_to_the_naive_path() {
+        let insts = figure1();
+        let dag = Dag::new(&insts);
+        let fast = compute_weights(&insts, &dag, &WeightConfig::new(SchedulerKind::Balanced));
+        let naive = compute_weights(
+            &insts,
+            &dag,
+            &WeightConfig::new(SchedulerKind::Balanced).with_reference(true),
+        );
+        assert_eq!(fast, naive);
     }
 
     #[test]

@@ -14,7 +14,10 @@ use std::hash::{Hash, Hasher};
 /// new `CompileOptions` field, a simulator metric added, a latency
 /// constant recalibrated — so stale cache files are ignored rather than
 /// misread.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `CompileOptions` gained `reference_weights` (naive-vs-kernel
+/// weight benching), serialized as `refweights=`.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One deduplicated unit of experimental work: a kernel compiled under
 /// one full option set (the options embed the simulated machine).
@@ -128,6 +131,7 @@ fn canonical_key(kernel: &str, o: &CompileOptions) -> String {
         }
     }
     let _ = write!(s, ";selective={}", u8::from(o.selective));
+    let _ = write!(s, ";refweights={}", u8::from(o.reference_weights));
     canon_sim(&o.sim, &mut s);
     s
 }
@@ -225,6 +229,7 @@ mod tests {
             cell(base().with_tie_break(TieBreak::ProgramOrder)),
             cell(base().with_unroll_budget(32)),
             cell(base().without_selective()),
+            cell(base().with_reference_weights()),
             cell(base().with_sim(SimConfig::default().with_issue_width(4))),
             cell(base().with_sim(SimConfig::default().with_mshrs(1))),
             cell(base().with_sim(SimConfig::default().with_ifetch(false))),

@@ -7,7 +7,7 @@ use crate::pool;
 use crate::report::{CellTiming, RunReport};
 use crate::store::ResultStore;
 use bsched_ir::Program;
-use bsched_pipeline::compile_and_run;
+use bsched_pipeline::Experiment;
 use bsched_sim::SimMetrics;
 use std::collections::HashMap;
 use std::fmt;
@@ -163,8 +163,10 @@ impl Engine {
             .map(|(i, (name, _))| (name.clone(), i))
             .collect();
         let disk = DiskCache::new(&config.cache_dir, config.disk_cache);
-        let mut report = RunReport::default();
-        report.workers = config.jobs;
+        let report = RunReport {
+            workers: config.jobs,
+            ..RunReport::default()
+        };
         Engine {
             kernels,
             index,
@@ -323,7 +325,15 @@ impl Engine {
     fn execute(&self, cell: &ExperimentCell) -> Result<CellResult, HarnessError> {
         let idx = self.index[cell.kernel()];
         let program = &self.kernels[idx].1;
-        let run = compile_and_run(program, cell.options()).map_err(|e| HarnessError::Cell {
+        let session = Experiment::builder()
+            .program(cell.kernel(), program.clone())
+            .compile_options(*cell.options())
+            .build()
+            .map_err(|e| HarnessError::Cell {
+                cell: cell.to_string(),
+                msg: e.to_string(),
+            })?;
+        let run = session.run().map_err(|e| HarnessError::Cell {
             cell: cell.to_string(),
             msg: e.to_string(),
         })?;

@@ -101,6 +101,14 @@ impl RunReport {
                 self.utilization() * 100.0,
                 self.steals
             );
+            let (hits, misses, entries) = bsched_ir::analysis::cache_stats();
+            if hits + misses > 0 {
+                let _ = writeln!(
+                    s,
+                    "dag-analysis cache: {hits} hits, {misses} misses, {entries} entries ({:.0}% shared)",
+                    hits as f64 / (hits + misses) as f64 * 100.0
+                );
+            }
             let _ = writeln!(s, "slowest cells:");
             for t in self.slowest(5) {
                 let _ = writeln!(s, "  {:>9.3}s  {}", t.wall.as_secs_f64(), t.cell);

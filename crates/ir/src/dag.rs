@@ -8,9 +8,11 @@
 //! they are *comparable* (serialised by some dependence path). Both queries
 //! are answered from ancestor/descendant bitsets computed once per region.
 
+use crate::analysis::{cached_analysis, DagAnalysis};
 use crate::inst::{Inst, LocalityHint};
 use crate::reg::Reg;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// The kind of a dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,6 +204,7 @@ impl DagBuilder {
             preds: self.preds,
             below,
             above,
+            analysis: OnceLock::new(),
         }
     }
 }
@@ -234,6 +237,7 @@ pub struct Dag {
     preds: Vec<Vec<(u32, DepKind)>>,
     below: Vec<BitSet>,
     above: Vec<BitSet>,
+    analysis: OnceLock<Arc<DagAnalysis>>,
 }
 
 impl Dag {
@@ -291,6 +295,20 @@ impl Dag {
     #[must_use]
     pub fn roots(&self) -> Vec<usize> {
         (0..self.n).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+
+    /// The memoized [`DagAnalysis`] for this DAG over `insts` — computed
+    /// on first use, shared by every later call, and deduplicated across
+    /// structurally identical DAGs process-wide (the experiment grid's
+    /// TS/BS cell pairs build the same region DAGs before scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts.len() != self.len()`.
+    #[must_use]
+    pub fn analysis(&self, insts: &[Inst]) -> &DagAnalysis {
+        assert_eq!(insts.len(), self.n, "region does not match DAG");
+        self.analysis.get_or_init(|| cached_analysis(self, insts))
     }
 }
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod block;
 pub mod builder;
 pub mod cfg;
@@ -55,6 +56,7 @@ pub mod reg;
 pub mod value;
 pub mod verify;
 
+pub use analysis::DagAnalysis;
 pub use block::{Block, BlockId, BrCond, Terminator};
 pub use builder::{FuncBuilder, LoadBuilder, StoreBuilder};
 pub use cfg::Cfg;

@@ -89,7 +89,20 @@ pub struct Compiled {
 /// profiler cannot execute the program, or — the strongest guarantee —
 /// the compiled program's observable memory image differs from the
 /// original program's.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Experiment::builder()…build()?.compile()` instead"
+)]
 pub fn compile(source: &Program, opts: &CompileOptions) -> Result<Compiled, PipelineError> {
+    compile_impl(source, opts)
+}
+
+/// The phase-order implementation behind [`compile`] and
+/// [`crate::Session::compile`].
+pub(crate) fn compile_impl(
+    source: &Program,
+    opts: &CompileOptions,
+) -> Result<Compiled, PipelineError> {
     bsched_ir::verify_program(source)?;
     let reference = Interp::new(source).run()?;
 
@@ -229,7 +242,7 @@ mod tests {
                         o.unroll = unroll;
                         o.trace = trace;
                         o.locality = locality;
-                        let r = compile(&p, &o);
+                        let r = compile_impl(&p, &o);
                         assert!(
                             r.is_ok(),
                             "config {} failed: {:?}",
@@ -246,7 +259,7 @@ mod tests {
     fn predication_reported_and_size_limit_respected() {
         let p = sample();
         let o = CompileOptions::new(SchedulerKind::Balanced).with_unroll(4);
-        let c = compile(&p, &o).unwrap();
+        let c = compile_impl(&p, &o).unwrap();
         assert!(c.stats.predicated >= 1, "the if is predicated");
         // The predicated body exceeds 64/4 instructions, so the full
         // factor is refused and the unroller falls back to factor 2 —
@@ -269,7 +282,7 @@ mod tests {
         k.push(k.for_loop(i, Expr::Int(0), Expr::Int(64), body));
         let p = k.lower();
         let o = CompileOptions::new(SchedulerKind::Balanced).with_unroll(4);
-        let c = compile(&p, &o).unwrap();
+        let c = compile_impl(&p, &o).unwrap();
         assert!(c.stats.unrolled_loops >= 1);
         assert!(c.stats.dce_removed > 0);
     }
@@ -280,7 +293,7 @@ mod tests {
         let o = CompileOptions::new(SchedulerKind::Balanced)
             .with_unroll(4)
             .with_locality();
-        let c = compile(&p, &o).unwrap();
+        let c = compile_impl(&p, &o).unwrap();
         assert!(!c.stats.locality.loops_processed.is_empty());
         assert_eq!(
             c.stats.unrolled_loops, 0,

@@ -1,7 +1,7 @@
 //! The experiment grid of the paper's evaluation and a memoizing runner.
 
 use crate::options::CompileOptions;
-use crate::run::{compile_and_run, RunResult};
+use crate::run::{run_impl, RunResult};
 use crate::PipelineError;
 use bsched_core::SchedulerKind;
 use bsched_ir::Program;
@@ -110,12 +110,17 @@ pub fn standard_grid() -> Vec<ExperimentConfig> {
 /// This is the minimal single-threaded memoizer. The experiment
 /// binaries run on `bsched-harness`'s `Engine` instead, which adds
 /// parallel execution, an on-disk cache, and full-options cache keys;
-/// `Runner` remains for lightweight in-crate use and tests.
+/// one-off runs should go through [`crate::Experiment::builder`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Experiment::builder()` (one-off runs) or the `bsched-harness` `Engine` (grids)"
+)]
 #[derive(Default)]
 pub struct Runner {
     cache: HashMap<(String, String), RunResult>,
 }
 
+#[allow(deprecated)]
 impl Runner {
     /// Creates an empty runner.
     #[must_use]
@@ -144,7 +149,7 @@ impl Runner {
         // simulator parameters) can share a label.
         let key = (kernel_name.to_string(), format!("{:?}", config.options()));
         if !self.cache.contains_key(&key) {
-            let result = compile_and_run(program, &config.options())?;
+            let result = run_impl(program, &config.options())?;
             assert!(result.checksum_ok, "simulator diverged on {kernel_name}");
             self.cache.insert(key.clone(), result);
         }
@@ -152,6 +157,7 @@ impl Runner {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for Runner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Runner({} cached runs)", self.cache.len())
@@ -189,6 +195,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn runner_memoizes() {
         use bsched_workloads::lang::ast::{Expr, Index};
         use bsched_workloads::lang::{ArrayInit, Kernel};

@@ -17,7 +17,7 @@
 //! program's.
 //!
 //! ```
-//! use bsched_pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+//! use bsched_pipeline::{Experiment, OptLevel, SchedulerKind};
 //! use bsched_workloads::lang::ast::{Expr, Index};
 //! use bsched_workloads::lang::{ArrayInit, Kernel};
 //!
@@ -28,24 +28,44 @@
 //! k.push(k.for_loop(i, Expr::Int(0), Expr::Int(64), body));
 //! let program = k.lower();
 //!
-//! let opts = CompileOptions::new(SchedulerKind::Balanced).with_unroll(4);
-//! let run = compile_and_run(&program, &opts).unwrap();
+//! let run = Experiment::builder()
+//!     .program("demo", program)
+//!     .opts(OptLevel::Unroll4)
+//!     .scheduler(SchedulerKind::Balanced)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //! assert!(run.checksum_ok);
 //! assert!(run.metrics.cycles > 0);
 //! ```
+//!
+//! Suite kernels resolve by name: `Experiment::builder().kernel("TRFD")`.
+//! The pre-0.3 free functions ([`compile`], [`compile_and_run`]) and the
+//! [`Runner`] memoizer remain as deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod experiment;
 pub mod experiments;
 pub mod options;
 pub mod run;
 pub mod table;
 
 pub use bsched_core::{SchedulerKind, TieBreak};
-pub use compile::{compile, CompileStats, Compiled, PipelineError};
-pub use experiments::{standard_grid, ConfigKind, ExperimentConfig, Runner};
+#[allow(deprecated)]
+pub use compile::compile;
+pub use compile::{CompileStats, Compiled, PipelineError};
+pub use experiment::{
+    resolve_kernel, Experiment, ExperimentBuilder, ExperimentError, OptLevel, Session,
+};
+#[allow(deprecated)]
+pub use experiments::Runner;
+pub use experiments::{standard_grid, ConfigKind, ExperimentConfig};
 pub use options::CompileOptions;
-pub use run::{compile_and_run, RunResult};
+#[allow(deprecated)]
+pub use run::compile_and_run;
+pub use run::RunResult;
 pub use table::Table;

@@ -29,6 +29,11 @@ pub struct CompileOptions {
     /// §3.3). Disabling isolates the transformation benefit from the
     /// scheduling benefit (the `selective` ablation).
     pub selective: bool,
+    /// Compute balanced weights with the retained naive reference
+    /// implementation instead of the bitset DAG-analysis kernel. The
+    /// results are identical; only the compile cost differs. Used by the
+    /// perf-trajectory benches to measure before/after in one binary.
+    pub reference_weights: bool,
     /// Simulator configuration.
     pub sim: SimConfig,
 }
@@ -47,6 +52,7 @@ impl CompileOptions {
             tie_break: TieBreak::Standard,
             unroll_budget: None,
             selective: true,
+            reference_weights: false,
             sim: SimConfig::default(),
         }
     }
@@ -116,6 +122,14 @@ impl CompileOptions {
         self
     }
 
+    /// Routes balanced-weight computation through the naive reference
+    /// implementation (benching only; identical results).
+    #[must_use]
+    pub fn with_reference_weights(mut self) -> Self {
+        self.reference_weights = true;
+        self
+    }
+
     /// The weight policy the scheduler actually runs with: under locality
     /// analysis, balanced scheduling becomes *selective* (hits keep the
     /// optimistic weight, §3.3). Traditional scheduling has no locality
@@ -126,7 +140,9 @@ impl CompileOptions {
             (SchedulerKind::Balanced, true) => SchedulerKind::SelectiveBalanced,
             (k, _) => k,
         };
-        WeightConfig::new(kind).with_cap(self.weight_cap)
+        WeightConfig::new(kind)
+            .with_cap(self.weight_cap)
+            .with_reference(self.reference_weights)
     }
 
     /// A short label like `BS+LU4+TrS+LA` used in tables.

@@ -1,6 +1,6 @@
 //! Compile-and-simulate entry point.
 
-use crate::compile::{compile, CompileStats, PipelineError};
+use crate::compile::{compile_impl, CompileStats, PipelineError};
 use crate::options::CompileOptions;
 use bsched_ir::{Interp, Program};
 use bsched_sim::{SimMetrics, Simulator};
@@ -22,11 +22,21 @@ pub struct RunResult {
 /// # Errors
 ///
 /// Propagates [`PipelineError`]s from compilation and simulation.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Experiment::builder()…build()?.run()` instead"
+)]
 pub fn compile_and_run(
     source: &Program,
     opts: &CompileOptions,
 ) -> Result<RunResult, PipelineError> {
-    let compiled = compile(source, opts)?;
+    run_impl(source, opts)
+}
+
+/// The implementation behind [`compile_and_run`] and
+/// [`crate::Session::run`].
+pub(crate) fn run_impl(source: &Program, opts: &CompileOptions) -> Result<RunResult, PipelineError> {
+    let compiled = compile_impl(source, opts)?;
     let reference = Interp::new(source).run()?;
     let sim = Simulator::new(&compiled.program, opts.sim).run()?;
     Ok(RunResult {
@@ -39,9 +49,20 @@ pub fn compile_and_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use bsched_core::SchedulerKind;
     use bsched_workloads::lang::ast::{Expr, Index};
     use bsched_workloads::lang::{ArrayInit, Kernel};
+
+    fn run_one(p: &Program, opts: CompileOptions) -> RunResult {
+        Experiment::builder()
+            .program("test", p.clone())
+            .compile_options(opts)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    }
 
     fn stream_kernel(n: i64) -> Program {
         let mut k = Kernel::new("stream");
@@ -61,8 +82,8 @@ mod tests {
     #[test]
     fn balanced_beats_traditional_on_streaming_loads() {
         let p = stream_kernel(2048); // 16 KB arrays: spills out of L1
-        let bs = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
-        let ts = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Traditional)).unwrap();
+        let bs = run_one(&p, CompileOptions::new(SchedulerKind::Balanced));
+        let ts = run_one(&p, CompileOptions::new(SchedulerKind::Traditional));
         assert!(bs.checksum_ok && ts.checksum_ok);
         assert!(
             bs.metrics.load_interlock <= ts.metrics.load_interlock,
@@ -75,12 +96,8 @@ mod tests {
     #[test]
     fn unrolling_reduces_cycles() {
         let p = stream_kernel(1024);
-        let base = compile_and_run(&p, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
-        let lu4 = compile_and_run(
-            &p,
-            &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
-        )
-        .unwrap();
+        let base = run_one(&p, CompileOptions::new(SchedulerKind::Balanced));
+        let lu4 = run_one(&p, CompileOptions::new(SchedulerKind::Balanced).with_unroll(4));
         assert!(
             lu4.metrics.cycles < base.metrics.cycles,
             "LU4 must speed up a streaming loop: {} vs {}",
@@ -93,11 +110,7 @@ mod tests {
     #[test]
     fn locality_runs_and_stays_correct() {
         let p = stream_kernel(512);
-        let la = compile_and_run(
-            &p,
-            &CompileOptions::new(SchedulerKind::Balanced).with_locality(),
-        )
-        .unwrap();
+        let la = run_one(&p, CompileOptions::new(SchedulerKind::Balanced).with_locality());
         assert!(la.checksum_ok);
         assert!(la.compile.locality.hits_marked > 0);
     }

@@ -64,6 +64,15 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// The paper's machine model: a single-issue Alpha 21164-like core
+    /// with the Table 2 memory hierarchy, bimodal branch prediction, and
+    /// I-fetch modeling. Identical to [`SimConfig::default`], named so
+    /// experiment code can say which machine it means.
+    #[must_use]
+    pub fn alpha21164() -> Self {
+        SimConfig::default()
+    }
+
     /// Returns the configuration with a different MSHR count (blocking vs.
     /// non-blocking ablation).
     #[must_use]
@@ -107,6 +116,11 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn alpha21164_names_the_default_machine() {
+        assert_eq!(SimConfig::alpha21164(), SimConfig::default());
+    }
 
     #[test]
     fn defaults_match_paper_machine() {

@@ -49,7 +49,7 @@ impl Prng {
         // Multiply-shift rejection-free mapping (Lemire); the tiny bias
         // for spans that do not divide 2^64 is irrelevant here.
         let span = hi - lo;
-        lo + (u128::from(self.next_u64()) * u128::from(span) >> 64) as u64
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
     }
 
     /// A uniform `i64` in `[lo, hi)`.
@@ -60,7 +60,7 @@ impl Prng {
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
         let span = (hi as i128 - lo as i128) as u64;
-        lo.wrapping_add((u128::from(self.next_u64()) * u128::from(span) >> 64) as i64)
+        lo.wrapping_add(((u128::from(self.next_u64()) * u128::from(span)) >> 64) as i64)
     }
 
     /// A uniform `usize` in `[0, n)`.

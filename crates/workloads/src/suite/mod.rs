@@ -13,7 +13,11 @@ mod perfect;
 mod spec92;
 
 use crate::lang::ast::{Index, VarId};
+use crate::lang::Kernel;
 use bsched_ir::Program;
+
+/// A named kernel constructor, as listed by each suite module.
+pub(crate) type KernelSource = (&'static str, fn() -> Kernel);
 
 /// Which suite a benchmark came from in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

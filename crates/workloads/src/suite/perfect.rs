@@ -387,7 +387,7 @@ fn trfd() -> Program {
 
 /// The kernels of this module as un-lowered [`Kernel`]s (for the textual
 /// round-trip tests and the pretty-printer).
-pub(super) fn kernel_sources() -> Vec<(&'static str, fn() -> Kernel)> {
+pub(super) fn kernel_sources() -> Vec<super::KernelSource> {
     vec![
         ("arc2d", arc2d_kernel as fn() -> Kernel),
         ("bdna", bdna_kernel as fn() -> Kernel),

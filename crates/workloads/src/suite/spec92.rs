@@ -567,7 +567,7 @@ fn tomcatv() -> Program {
 
 /// The kernels of this module as un-lowered [`Kernel`]s (for the textual
 /// round-trip tests and the pretty-printer).
-pub(super) fn kernel_sources() -> Vec<(&'static str, fn() -> Kernel)> {
+pub(super) fn kernel_sources() -> Vec<super::KernelSource> {
     vec![
         ("alvinn", alvinn_kernel as fn() -> Kernel),
         ("dnasa7", dnasa7_kernel as fn() -> Kernel),

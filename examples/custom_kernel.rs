@@ -1,7 +1,7 @@
 //! Building a custom kernel end-to-end: the public API tour.
 //!
 //! Shows the individual stages — frontend, analyses, optimizations,
-//! scheduling, allocation, simulation — that `compile_and_run` chains,
+//! scheduling, allocation, simulation — that `Experiment::builder()…run()` chains,
 //! so downstream users can assemble their own pipelines.
 //!
 //! ```sh

@@ -4,7 +4,7 @@
 //! cargo run --release --example dsl_kernel -- examples/kernels/stencil.bsk
 //! ```
 
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::parse_kernel;
 
 fn main() {
@@ -49,7 +49,13 @@ fn main() {
                 .with_locality(),
         ),
     ] {
-        let run = compile_and_run(&program, &opts).expect("pipeline succeeds");
+        let run = Experiment::builder()
+            .program(kernel.name(), program.clone())
+            .compile_options(opts)
+            .build()
+            .expect("program supplied")
+            .run()
+            .expect("pipeline succeeds");
         assert!(run.checksum_ok);
         println!(
             "{label:<22} {:>10} {:>12} {:>8.2}",

@@ -7,7 +7,7 @@
 //! ```
 
 use balanced_scheduling::opt::{analyze_locality, ReuseKind};
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::kernel_by_name;
 
 fn main() {
@@ -56,7 +56,13 @@ fn main() {
                 .with_trace(),
         ),
     ] {
-        let run = compile_and_run(&program, &opts).expect("pipeline succeeds");
+        let run = Experiment::builder()
+            .program("tomcatv", program.clone())
+            .compile_options(opts)
+            .build()
+            .expect("program supplied")
+            .run()
+            .expect("pipeline succeeds");
         println!(
             "{label:<28} {:>12} {:>14} {:>8.2}",
             run.metrics.cycles,

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::lang::ast::{Expr, Index};
 use balanced_scheduling::workloads::lang::{ArrayInit, Kernel};
 
@@ -50,7 +50,13 @@ fn main() {
                 .with_locality(),
         ),
     ] {
-        let run = compile_and_run(&program, &opts).expect("pipeline succeeds");
+        let run = Experiment::builder()
+            .program("quickstart", program.clone())
+            .compile_options(opts)
+            .build()
+            .expect("program supplied")
+            .run()
+            .expect("pipeline succeeds");
         assert!(
             run.checksum_ok,
             "compiled code must compute the same result"

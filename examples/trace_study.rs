@@ -6,7 +6,7 @@
 //! cargo run --release --example trace_study
 //! ```
 
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::kernel_by_name;
 
 fn main() {
@@ -36,7 +36,13 @@ fn main() {
                     .with_trace(),
             ),
         ] {
-            let run = compile_and_run(&program, &opts).expect("pipeline succeeds");
+            let run = Experiment::builder()
+                .program(spec.name, program.clone())
+                .compile_options(opts)
+                .build()
+                .expect("program supplied")
+                .run()
+                .expect("pipeline succeeds");
             println!(
                 "{label:<18} {:>12} {:>12} {:>10} {:>10}",
                 run.metrics.cycles,

@@ -6,7 +6,7 @@
 //! cargo run --release --example unrolling_study [kernel-name]
 //! ```
 
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::kernel_by_name;
 
 fn main() {
@@ -32,8 +32,17 @@ fn main() {
         let mut ts_opts = CompileOptions::new(SchedulerKind::Traditional);
         bs_opts.unroll = unroll;
         ts_opts.unroll = unroll;
-        let bs = compile_and_run(&program, &bs_opts).expect("balanced pipeline");
-        let ts = compile_and_run(&program, &ts_opts).expect("traditional pipeline");
+        let run = |opts: CompileOptions, what: &str| {
+            Experiment::builder()
+                .program(spec.name, program.clone())
+                .compile_options(opts)
+                .build()
+                .expect("program supplied")
+                .run()
+                .expect(what)
+        };
+        let bs = run(bs_opts, "balanced pipeline");
+        let ts = run(ts_opts, "traditional pipeline");
         println!(
             "{:<8} {:>12} {:>12} {:>9.2} {:>13.1}% {:>13.1}%",
             unroll.map_or("none".to_string(), |f| format!("x{f}")),

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== build (workspace, all targets) =="
 cargo build --release --workspace --all-targets
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy -q --all-targets -- -D warnings
+
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
@@ -24,5 +27,13 @@ warm="$(run_smoke 1)"
 # Header + 2 kernels x 15 configurations.
 lines="$(printf '%s\n' "$cold" | wc -l)"
 [ "$lines" -eq 31 ] || { echo "FAIL: expected 31 output lines, got $lines"; exit 1; }
+
+echo "== smoke: weights microbench vs recorded BENCH_pr2.json baseline =="
+# Re-measures the naive-reference vs bitset-kernel arms, writes a fresh
+# BENCH_pr2.json next to the cache dir, and fails if any case's speedup
+# ratio fell more than 10% below the committed baseline (ratios, not
+# wall times, so the check is machine-independent).
+cargo bench -q -p bsched-bench --bench weights -- \
+    --json "$SMOKE_CACHE/BENCH_pr2.json" --check "$PWD/BENCH_pr2.json"
 
 echo "CI OK"

@@ -20,8 +20,26 @@
 //! * [`pipeline`] — the end-to-end compile+simulate driver and experiment
 //!   grids.
 //!
-//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
-//! results.
+//! The single public entry point is the [`Experiment`] builder,
+//! re-exported at the crate root:
+//!
+//! ```
+//! use balanced_scheduling::{Experiment, OptLevel, SchedulerKind, SimConfig};
+//!
+//! let run = Experiment::builder()
+//!     .kernel("TRFD")
+//!     .opts(OptLevel::Unroll8Trace)
+//!     .scheduler(SchedulerKind::Balanced)
+//!     .sim(SimConfig::alpha21164())
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert!(run.checksum_ok);
+//! ```
+//!
+//! See `README.md` for a tour (including the old-call → builder-call
+//! migration table) and `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
 
@@ -33,3 +51,9 @@ pub use bsched_pipeline as pipeline;
 pub use bsched_regalloc as regalloc;
 pub use bsched_sim as sim;
 pub use bsched_workloads as workloads;
+
+pub use bsched_pipeline::{
+    resolve_kernel, CompileOptions, ConfigKind, Experiment, ExperimentBuilder, ExperimentError,
+    OptLevel, RunResult, SchedulerKind, Session, TieBreak,
+};
+pub use bsched_sim::SimConfig;

@@ -7,8 +7,19 @@
 //! cargo test --release --test paper_shape -- --ignored
 //! ```
 
-use balanced_scheduling::pipeline::{compile_and_run, ConfigKind, SchedulerKind};
+use balanced_scheduling::pipeline::{ConfigKind, Experiment, RunResult, SchedulerKind};
 use balanced_scheduling::workloads::all_kernels;
+use bsched_ir::Program;
+
+fn run_cell(name: &str, program: &Program, kind: ConfigKind, sched: SchedulerKind) -> RunResult {
+    Experiment::builder()
+        .program(name, program.clone())
+        .compile_options(kind.options(sched))
+        .build()
+        .expect("program supplied")
+        .run()
+        .unwrap()
+}
 
 fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
@@ -19,8 +30,8 @@ fn grid_speedups(kind: ConfigKind) -> Vec<f64> {
         .iter()
         .map(|spec| {
             let p = spec.program();
-            let bs = compile_and_run(&p, &kind.options(SchedulerKind::Balanced)).unwrap();
-            let ts = compile_and_run(&p, &kind.options(SchedulerKind::Traditional)).unwrap();
+            let bs = run_cell(spec.name, &p, kind, SchedulerKind::Balanced);
+            let ts = run_cell(spec.name, &p, kind, SchedulerKind::Traditional);
             bs.metrics.speedup_over(&ts.metrics)
         })
         .collect()
@@ -65,8 +76,8 @@ fn balanced_always_has_fewer_load_interlock_cycles_on_average() {
         let mut ts_frac = Vec::new();
         for spec in all_kernels() {
             let p = spec.program();
-            let bs = compile_and_run(&p, &kind.options(SchedulerKind::Balanced)).unwrap();
-            let ts = compile_and_run(&p, &kind.options(SchedulerKind::Traditional)).unwrap();
+            let bs = run_cell(spec.name, &p, kind, SchedulerKind::Balanced);
+            let ts = run_cell(spec.name, &p, kind, SchedulerKind::Traditional);
             bs_frac.push(bs.metrics.load_interlock_fraction());
             ts_frac.push(ts.metrics.load_interlock_fraction());
         }

@@ -2,8 +2,32 @@
 //! simulates correctly under representative configurations, spanning
 //! frontend → optimizations → scheduling → allocation → simulation.
 
-use balanced_scheduling::pipeline::{compile_and_run, CompileOptions, SchedulerKind};
-use balanced_scheduling::workloads::{all_kernels, kernel_by_name};
+use balanced_scheduling::pipeline::{CompileOptions, Experiment, RunResult, SchedulerKind};
+use balanced_scheduling::workloads::all_kernels;
+use bsched_ir::Program;
+
+/// Runs one kernel program under one option set through the public
+/// `Experiment` API.
+fn run_cell(name: &str, program: &Program, opts: &CompileOptions) -> RunResult {
+    Experiment::builder()
+        .program(name, program.clone())
+        .compile_options(*opts)
+        .build()
+        .expect("program supplied")
+        .run()
+        .unwrap_or_else(|e| panic!("{name} under {}: {e}", opts.label()))
+}
+
+/// Resolves a suite kernel by name and runs it.
+fn run_kernel(name: &str, opts: &CompileOptions) -> RunResult {
+    Experiment::builder()
+        .kernel(name)
+        .compile_options(*opts)
+        .build()
+        .expect("kernel exists")
+        .run()
+        .unwrap_or_else(|e| panic!("{name} under {}: {e}", opts.label()))
+}
 
 /// A fast config subset for the full 17-kernel sweep (debug builds run
 /// this; the full grid lives in the bench binaries).
@@ -20,8 +44,7 @@ fn all_kernels_compile_and_match_reference_on_smoke_configs() {
     for spec in all_kernels() {
         let program = spec.program();
         for opts in smoke_configs() {
-            let run = compile_and_run(&program, &opts)
-                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, opts.label()));
+            let run = run_cell(spec.name, &program, &opts);
             assert!(
                 run.checksum_ok,
                 "{} under {} diverged",
@@ -37,10 +60,8 @@ fn all_kernels_compile_and_match_reference_on_smoke_configs() {
 #[test]
 fn full_config_grid_on_two_kernels() {
     for name in ["QCD2", "su2cor"] {
-        let program = kernel_by_name(name).expect("kernel exists").program();
         for cfg in balanced_scheduling::pipeline::standard_grid() {
-            let run = compile_and_run(&program, &cfg.options())
-                .unwrap_or_else(|e| panic!("{name} under {}: {e}", cfg.options().label()));
+            let run = run_kernel(name, &cfg.options());
             assert!(
                 run.checksum_ok,
                 "{name} under {} diverged",
@@ -52,9 +73,8 @@ fn full_config_grid_on_two_kernels() {
 
 #[test]
 fn scheduling_changes_order_not_results() {
-    let program = kernel_by_name("MDG").expect("kernel exists").program();
-    let bs = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
-    let ts = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Traditional)).unwrap();
+    let bs = run_kernel("MDG", &CompileOptions::new(SchedulerKind::Balanced));
+    let ts = run_kernel("MDG", &CompileOptions::new(SchedulerKind::Traditional));
     // Identical instruction mixes (same code, different order), different
     // interlock behaviour.
     assert_eq!(bs.metrics.insts.total(), ts.metrics.insts.total());
@@ -68,14 +88,8 @@ fn scheduling_changes_order_not_results() {
 #[test]
 fn unrolling_reduces_dynamic_instructions_on_streamy_kernels() {
     for name in ["su2cor", "tomcatv", "hydro2d"] {
-        let program = kernel_by_name(name).expect("kernel exists").program();
-        let base =
-            compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
-        let lu4 = compile_and_run(
-            &program,
-            &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4),
-        )
-        .unwrap();
+        let base = run_kernel(name, &CompileOptions::new(SchedulerKind::Balanced));
+        let lu4 = run_kernel(name, &CompileOptions::new(SchedulerKind::Balanced).with_unroll(4));
         assert!(
             lu4.metrics.insts.total() < base.metrics.insts.total(),
             "{name}: unrolling must remove loop overhead ({} -> {})",
@@ -91,15 +105,13 @@ fn unrolling_reduces_dynamic_instructions_on_streamy_kernels() {
 
 #[test]
 fn locality_marks_hits_on_tomcatv() {
-    let program = kernel_by_name("tomcatv").expect("kernel exists").program();
-    let la = compile_and_run(
-        &program,
+    let la = run_kernel(
+        "tomcatv",
         &CompileOptions::new(SchedulerKind::Balanced).with_locality(),
-    )
-    .unwrap();
+    );
     assert!(la.compile.locality.hits_marked > 0);
     assert!(la.compile.locality.misses_marked > 0);
-    let base = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+    let base = run_kernel("tomcatv", &CompileOptions::new(SchedulerKind::Balanced));
     assert!(
         la.metrics.cycles < base.metrics.cycles,
         "locality analysis must pay off on its best-case kernel"
@@ -110,7 +122,6 @@ fn locality_marks_hits_on_tomcatv() {
 fn spice_load_interlocks_resist_every_optimization() {
     // The paper's spice2g6 keeps ~30% of its cycles in load interlocks no
     // matter what; our pointer-chase kernel reproduces that.
-    let program = kernel_by_name("spice2g6").expect("kernel exists").program();
     for opts in [
         CompileOptions::new(SchedulerKind::Balanced),
         CompileOptions::new(SchedulerKind::Balanced).with_unroll(8),
@@ -118,7 +129,7 @@ fn spice_load_interlocks_resist_every_optimization() {
             .with_unroll(8)
             .with_trace(),
     ] {
-        let run = compile_and_run(&program, &opts).unwrap();
+        let run = run_kernel("spice2g6", &opts);
         assert!(
             run.metrics.load_interlock_fraction() > 0.2,
             "{}: pointer chase must stay memory-bound, got {:.1}%",
@@ -132,8 +143,7 @@ fn spice_load_interlocks_resist_every_optimization() {
 fn ora_has_no_load_interlocks() {
     // ora's working set lives in registers and the L1: the paper reports
     // 0.0% load interlocks under every configuration.
-    let program = kernel_by_name("ora").expect("kernel exists").program();
-    let run = compile_and_run(&program, &CompileOptions::new(SchedulerKind::Balanced)).unwrap();
+    let run = run_kernel("ora", &CompileOptions::new(SchedulerKind::Balanced));
     assert!(
         run.metrics.load_interlock_fraction() < 0.02,
         "got {:.2}%",

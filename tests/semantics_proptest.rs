@@ -8,7 +8,7 @@
 //! selects, reductions and 2-D accesses. Plans come from the
 //! workspace's seeded [`Prng`] so every run covers the same corpus.
 
-use balanced_scheduling::pipeline::{compile, CompileOptions, SchedulerKind};
+use balanced_scheduling::{CompileOptions, Experiment, SchedulerKind};
 use balanced_scheduling::workloads::lang::ast::{CmpOp, Expr, Index, Stmt};
 use balanced_scheduling::workloads::lang::{ArrayInit, Kernel};
 use bsched_util::Prng;
@@ -183,9 +183,14 @@ fn every_pipeline_preserves_semantics() {
                 .with_unroll(4)
                 .with_locality(),
         ] {
-            // compile() internally interprets the result and fails on any
-            // observable-memory divergence.
-            let r = compile(&program, &opts);
+            // Compilation internally interprets the result and fails on
+            // any observable-memory divergence.
+            let r = Experiment::builder()
+                .program("prop", program.clone())
+                .compile_options(opts)
+                .build()
+                .expect("program supplied")
+                .compile();
             assert!(
                 r.is_ok(),
                 "case {case}: {}: {:?}",
