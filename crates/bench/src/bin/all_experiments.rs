@@ -8,30 +8,144 @@
 //! The harness run report goes to stderr so stdout stays byte-identical
 //! across runs.
 //!
-//! `--kernels NAME,NAME,...` restricts the grid to a subset (used by
-//! `scripts/ci.sh` for a fast smoke run). Unknown names are rejected
-//! with the list of valid choices.
+//! `--kernels NAME,NAME,...` (or `--kernels=NAME,...`) restricts the
+//! grid to a subset (used by `scripts/ci.sh` for a fast smoke run).
+//! Unknown names — and an empty list — are rejected with the list of
+//! valid choices and exit code 2.
+//!
+//! `--verify` runs the `bsched-verify` conformance suite on every
+//! executed cell (schedule legality, weight cross-check, differential
+//! replay, metamorphic invariants); `BSCHED_VERIFY=1` does the same.
+//! `--fuzz N` additionally runs an N-iteration pipeline-fuzzing
+//! campaign after the grid (`--fuzz-seed HEX` and `--fuzz-seconds S`
+//! control the seed and a wall-clock budget). Verification output goes
+//! to stderr; any violation or fuzz failure exits nonzero.
 
 use bsched_bench::Grid;
-use bsched_harness::ExperimentCell;
+use bsched_harness::{Engine, EngineConfig, ExperimentCell};
 use bsched_pipeline::{resolve_kernel, standard_grid};
 use std::fmt::Write as _;
 
+fn valid_kernels() -> String {
+    bsched_workloads::all_kernels()
+        .iter()
+        .map(|k| k.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn parse_kernel_list(raw: &str) -> Vec<String> {
+    if raw.trim().is_empty() {
+        eprintln!(
+            "--kernels requires at least one kernel name; valid kernels: {}",
+            valid_kernels()
+        );
+        std::process::exit(2);
+    }
+    raw.split(',').map(str::to_string).collect()
+}
+
+struct Cli {
+    csv: bool,
+    verify: bool,
+    filter: Option<Vec<String>>,
+    fuzz: Option<u64>,
+    fuzz_seed: u64,
+    fuzz_seconds: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        csv: false,
+        verify: false,
+        filter: None,
+        fuzz: None,
+        fuzz_seed: 0xB5ED,
+        fuzz_seconds: None,
+    };
+    let value = |i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    let number = |v: &str, flag: &str| -> u64 {
+        let v = v.trim();
+        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            v.parse()
+        };
+        parsed.unwrap_or_else(|_| {
+            eprintln!("{flag} requires a number, got {v:?}");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--csv" {
+            cli.csv = true;
+        } else if a == "--verify" {
+            cli.verify = true;
+        } else if a == "--kernels" {
+            cli.filter = Some(parse_kernel_list(&value(i, "--kernels")));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--kernels=") {
+            cli.filter = Some(parse_kernel_list(v));
+        } else if a == "--fuzz" {
+            cli.fuzz = Some(number(&value(i, "--fuzz"), "--fuzz"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--fuzz=") {
+            cli.fuzz = Some(number(v, "--fuzz"));
+        } else if a == "--fuzz-seed" {
+            cli.fuzz_seed = number(&value(i, "--fuzz-seed"), "--fuzz-seed");
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--fuzz-seed=") {
+            cli.fuzz_seed = number(v, "--fuzz-seed");
+        } else if a == "--fuzz-seconds" {
+            cli.fuzz_seconds = Some(number(&value(i, "--fuzz-seconds"), "--fuzz-seconds"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--fuzz-seconds=") {
+            cli.fuzz_seconds = Some(number(v, "--fuzz-seconds"));
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn run_fuzz(grid: &Grid, cli: &Cli) {
+    let Some(iterations) = cli.fuzz else { return };
+    let mut cfg = bsched_verify::FuzzConfig::new(cli.fuzz_seed).with_iterations(iterations);
+    if let Some(secs) = cli.fuzz_seconds {
+        cfg = cfg.with_time_budget(std::time::Duration::from_secs(secs));
+    }
+    let report = bsched_verify::fuzz(&cfg);
+    grid.engine().record_fuzz(report.iterations);
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!(
+                "fuzz failure at iteration {} ({}): {}",
+                f.iteration,
+                f.label,
+                f.messages.join("; ")
+            );
+            eprintln!("{}", f.reproducer);
+        }
+        eprint!("{}", grid.report().render());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let filter: Option<Vec<String>> = args.iter().position(|a| a == "--kernels").map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| {
-                eprintln!("--kernels requires a comma-separated list of kernel names");
-                std::process::exit(2);
-            })
-            .split(',')
-            .map(str::to_string)
-            .collect()
-    });
+    let cli = parse_args(&args);
+    let csv = cli.csv;
+    let filter = cli.filter.clone();
 
-    let grid = Grid::new();
+    let mut engine_cfg = EngineConfig::from_env();
+    engine_cfg.verify = engine_cfg.verify || cli.verify;
+    let grid = Grid::with_engine(Engine::with_standard_kernels(engine_cfg));
     let configs = standard_grid();
     let kernels: Vec<String> = match &filter {
         None => grid.kernel_names(),
@@ -97,6 +211,7 @@ fn main() {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
+        run_fuzz(&grid, &cli);
         eprint!("{}", grid.report().render());
         return;
     }
@@ -121,5 +236,6 @@ fn main() {
             );
         }
     }
+    run_fuzz(&grid, &cli);
     eprint!("{}", grid.report().render());
 }

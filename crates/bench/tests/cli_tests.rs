@@ -1,0 +1,54 @@
+//! CLI-contract tests for `all_experiments`: argument validation must
+//! fail fast (exit code 2) with actionable messages, before any cell
+//! executes.
+
+use std::process::Command;
+
+fn all_experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_all_experiments"))
+}
+
+#[test]
+fn empty_kernels_value_is_rejected_with_the_valid_choices() {
+    for arg in ["--kernels=", "--kernels= "] {
+        let out = all_experiments().arg(arg).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{arg:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("at least one kernel name"),
+            "{arg:?}: {err}"
+        );
+        assert!(err.contains("TRFD"), "{arg:?} must list valid kernels: {err}");
+        assert!(out.stdout.is_empty(), "{arg:?} must not start the grid");
+    }
+    // Space-separated form with an empty value.
+    let out = all_experiments().args(["--kernels", ""]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one kernel name"));
+}
+
+#[test]
+fn missing_kernels_value_is_rejected() {
+    let out = all_experiments().arg("--kernels").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--kernels"));
+}
+
+#[test]
+fn unknown_kernel_names_are_rejected() {
+    for args in [vec!["--kernels", "nonesuch"], vec!["--kernels=TRFD,nonesuch"]] {
+        let out = all_experiments().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("nonesuch"), "{args:?}: {err}");
+        assert!(err.contains("TRFD"), "{args:?} must list valid kernels: {err}");
+    }
+}
+
+#[test]
+fn bad_fuzz_values_are_rejected() {
+    for args in [vec!["--fuzz", "banana"], vec!["--fuzz-seed=xyz"]] {
+        let out = all_experiments().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}

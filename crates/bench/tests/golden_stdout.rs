@@ -1,0 +1,77 @@
+//! Golden-snapshot tests over the table/figure binaries' stdout.
+//!
+//! The binaries' stdout is the paper reproduction's deliverable and is
+//! deterministic by construction (run reports and diagnostics go to
+//! stderr). These tests pin the exact bytes: any change — an intended
+//! formatting tweak or an accidental numeric drift — shows up as a
+//! diff against `tests/golden/<binary>.txt` at the workspace root.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p bsched-bench --test golden_stdout
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn check(name: &str, exe: &str) {
+    let root = workspace_root();
+    let golden = root.join("tests/golden").join(format!("{name}.txt"));
+    let out = Command::new(exe)
+        .current_dir(&root)
+        .output()
+        .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &stdout).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {}; capture it with UPDATE_GOLDEN=1 \
+             cargo test -p bsched-bench --test golden_stdout",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        stdout, want,
+        "{name} stdout diverged from tests/golden/{name}.txt; if the \
+         change is intentional, refresh with UPDATE_GOLDEN=1"
+    );
+}
+
+macro_rules! golden {
+    ($name:ident) => {
+        #[test]
+        fn $name() {
+            check(
+                stringify!($name),
+                env!(concat!("CARGO_BIN_EXE_", stringify!($name))),
+            );
+        }
+    };
+}
+
+golden!(table4);
+golden!(table5);
+golden!(table6);
+golden!(table7);
+golden!(table8);
+golden!(table9);
+golden!(sec55);
+golden!(superscalar);

@@ -1,0 +1,59 @@
+//! Schedule audits: the pre-schedule evidence the verifier replays.
+//!
+//! The scheduler consumes a region (its pre-schedule instruction list),
+//! a weight vector, and emits a permutation. Once the function has been
+//! reordered in place that evidence is gone — the emitted block *is* the
+//! schedule. An audit captures the triple at the moment of scheduling so
+//! an external checker (`bsched-verify`) can rebuild the dependence DAG
+//! from the pre-schedule instructions and prove the emitted order legal,
+//! and can recompute the weights against the retained naive reference.
+
+use crate::scheduler::TieBreak;
+use crate::weights::WeightConfig;
+use bsched_ir::Inst;
+
+/// One scheduled region: what went into the list scheduler and what came
+/// out.
+#[derive(Debug, Clone)]
+pub struct RegionSchedule {
+    /// Index of the basic block inside the scheduled function.
+    pub block: usize,
+    /// The region's instructions in pre-schedule order — the order the
+    /// dependence DAG and the weights were computed over.
+    pub insts: Vec<Inst>,
+    /// The load weights handed to the scheduler, one per instruction.
+    pub weights: Vec<u32>,
+    /// The emitted schedule: `order[k]` is the pre-schedule index of the
+    /// instruction issued `k`-th.
+    pub order: Vec<usize>,
+}
+
+/// Everything one [`crate::schedule_function_audited`] call decided,
+/// region by region.
+#[derive(Debug, Clone)]
+pub struct ScheduleAudit {
+    /// The weight configuration every region was scheduled under.
+    pub config: WeightConfig,
+    /// The tie-break heuristic order in effect.
+    pub tie_break: TieBreak,
+    /// Per-block records, in block order.
+    pub regions: Vec<RegionSchedule>,
+}
+
+impl ScheduleAudit {
+    /// An empty audit for a given configuration.
+    #[must_use]
+    pub fn new(config: WeightConfig, tie_break: TieBreak) -> Self {
+        ScheduleAudit {
+            config,
+            tie_break,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Total instructions covered by the audited regions.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.regions.iter().map(|r| r.insts.len()).sum()
+    }
+}

@@ -317,6 +317,29 @@ pub fn schedule_function(func: &mut Function, config: &WeightConfig) {
 
 /// [`schedule_function`] with an explicit tie-break order (ablations).
 pub fn schedule_function_with(func: &mut Function, config: &WeightConfig, tie_break: TieBreak) {
+    schedule_function_inner(func, config, tie_break, None);
+}
+
+/// [`schedule_function_with`] that additionally records, per block, the
+/// pre-schedule instruction list, the weights, and the emitted order —
+/// the evidence the `bsched-verify` legality validator replays.
+#[must_use]
+pub fn schedule_function_audited(
+    func: &mut Function,
+    config: &WeightConfig,
+    tie_break: TieBreak,
+) -> crate::audit::ScheduleAudit {
+    let mut audit = crate::audit::ScheduleAudit::new(*config, tie_break);
+    schedule_function_inner(func, config, tie_break, Some(&mut audit.regions));
+    audit
+}
+
+fn schedule_function_inner(
+    func: &mut Function,
+    config: &WeightConfig,
+    tie_break: TieBreak,
+    mut audit: Option<&mut Vec<crate::audit::RegionSchedule>>,
+) {
     let cfg = bsched_ir::Cfg::new(func);
     let live = bsched_ir::Liveness::new(func, &cfg);
     let nblocks = func.blocks().len();
@@ -339,6 +362,14 @@ pub fn schedule_function_with(func: &mut Function, config: &WeightConfig, tie_br
             &live_out,
             tie_break,
         );
+        if let Some(sink) = audit.as_deref_mut() {
+            sink.push(crate::audit::RegionSchedule {
+                block: bi,
+                insts: insts.clone(),
+                weights: weights.clone(),
+                order: order.clone(),
+            });
+        }
         let mut reordered = Vec::with_capacity(insts.len());
         let mut taken: Vec<Option<Inst>> = insts.into_iter().map(Some).collect();
         for i in order {

@@ -17,7 +17,11 @@ use std::hash::{Hash, Hasher};
 ///
 /// v2: `CompileOptions` gained `reference_weights` (naive-vs-kernel
 /// weight benching), serialized as `refweights=`.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: cached documents gained the `verified` flag recording that the
+/// `bsched-verify` conformance suite passed when the cell was computed;
+/// verifying runs treat unverified cached cells as misses.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// One deduplicated unit of experimental work: a kernel compiled under
 /// one full option set (the options embed the simulated machine).

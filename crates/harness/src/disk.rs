@@ -71,10 +71,12 @@ impl DiskCache {
             return None; // hash collision or stale generation
         }
         let checksum_ok = doc.get("checksum_ok")?.as_bool()?;
+        let verified = doc.get("verified")?.as_bool()?;
         let metrics = decode_metrics(doc.get("metrics")?)?;
         Some(CellResult {
             metrics,
             checksum_ok,
+            verified,
         })
     }
 
@@ -89,6 +91,7 @@ impl DiskCache {
             ("schema", Json::u64(u64::from(CACHE_SCHEMA_VERSION))),
             ("key", Json::Str(cell.canonical_key().to_string())),
             ("checksum_ok", Json::Bool(result.checksum_ok)),
+            ("verified", Json::Bool(result.verified)),
             ("metrics", encode_metrics(&result.metrics)),
         ]);
         let text = doc.to_string_compact();
@@ -214,6 +217,7 @@ mod tests {
         CellResult {
             metrics: m,
             checksum_ok: true,
+            verified: false,
         }
     }
 

@@ -25,6 +25,11 @@ pub struct CellResult {
     /// Whether the compiled program's memory image matched the reference
     /// interpreter's. The engine refuses to serve `false`.
     pub checksum_ok: bool,
+    /// Whether the `bsched-verify` conformance suite (schedule legality,
+    /// weight cross-check, differential replay, metamorphic invariants)
+    /// passed when this result was computed. A verifying run treats a
+    /// cached result with `verified == false` as a cache miss.
+    pub verified: bool,
 }
 
 /// Engine failures.
@@ -62,6 +67,10 @@ pub struct EngineConfig {
     pub disk_cache: bool,
     /// Root of the on-disk cache (the `v<N>` subdirectory is appended).
     pub cache_dir: PathBuf,
+    /// Whether every executed cell runs the `bsched-verify` conformance
+    /// suite. Violations fail the run; cached results that were not
+    /// verified when computed are recomputed.
+    pub verify: bool,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +79,7 @@ impl Default for EngineConfig {
             jobs: default_jobs(),
             disk_cache: true,
             cache_dir: PathBuf::from("results/cache"),
+            verify: false,
         }
     }
 }
@@ -86,7 +96,9 @@ impl EngineConfig {
     /// * `BSCHED_NO_CACHE=1` — bypass the disk cache (for benchmarking
     ///   the engine itself),
     /// * `BSCHED_CACHE_DIR=<path>` — cache root (default
-    ///   `results/cache`).
+    ///   `results/cache`),
+    /// * `BSCHED_VERIFY=1` — run the conformance suite on every
+    ///   executed cell.
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = EngineConfig::default();
@@ -104,6 +116,11 @@ impl EngineConfig {
         if let Ok(v) = std::env::var("BSCHED_CACHE_DIR") {
             if !v.is_empty() {
                 cfg.cache_dir = PathBuf::from(v);
+            }
+        }
+        if let Ok(v) = std::env::var("BSCHED_VERIFY") {
+            if v == "1" || v.eq_ignore_ascii_case("true") {
+                cfg.verify = true;
             }
         }
         cfg
@@ -127,6 +144,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_disk_cache(mut self, on: bool) -> Self {
         self.disk_cache = on;
+        self
+    }
+
+    /// Enables/disables the per-cell conformance suite.
+    #[must_use]
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = on;
         self
     }
 }
@@ -221,22 +245,39 @@ impl Engine {
         }
         let deduplicated = cells.len() - unique.len();
 
-        // Layer 1/2: memory, then disk.
+        // Layer 1/2: memory, then disk. A verifying run only accepts
+        // cached results whose conformance suite passed at compute time;
+        // anything else is recomputed (and re-verified) as a miss.
         let mut misses: Vec<&ExperimentCell> = Vec::new();
         let mut memory_hits = 0u64;
         let mut disk_hits = 0u64;
+        let mut verified = 0u64;
+        let usable = |r: &CellResult| !self.config.verify || r.verified;
         for &cell in &unique {
-            if self.store.contains(cell) {
-                memory_hits += 1;
-            } else if let Some(result) = self.disk.load(cell) {
-                self.store.insert(cell, result);
-                disk_hits += 1;
-            } else {
-                if !self.index.contains_key(cell.kernel()) {
-                    return Err(HarnessError::UnknownKernel(cell.kernel().to_string()));
+            let hit = if let Some(r) = self.store.get(cell) {
+                usable(&r) && {
+                    memory_hits += 1;
+                    true
                 }
-                misses.push(cell);
+            } else if let Some(r) = self.disk.load(cell) {
+                usable(&r) && {
+                    self.store.insert(cell, r);
+                    disk_hits += 1;
+                    true
+                }
+            } else {
+                false
+            };
+            if hit {
+                if self.config.verify {
+                    verified += 1;
+                }
+                continue;
             }
+            if !self.index.contains_key(cell.kernel()) {
+                return Err(HarnessError::UnknownKernel(cell.kernel().to_string()));
+            }
+            misses.push(cell);
         }
 
         // Layer 3: execute the misses in parallel.
@@ -255,11 +296,14 @@ impl Engine {
                 });
                 match outcome {
                     Ok(result) => {
+                        if result.verified {
+                            verified += 1;
+                        }
                         self.disk.store(cell, &result);
                         self.store.insert(cell, result);
                     }
                     Err(e) => {
-                        self.update_report(cells.len() as u64, deduplicated as u64, memory_hits, disk_hits, &timings, Some(&stats));
+                        self.update_report(cells.len() as u64, deduplicated as u64, memory_hits, disk_hits, verified, &timings, Some(&stats));
                         return Err(e);
                     }
                 }
@@ -269,6 +313,7 @@ impl Engine {
                 deduplicated as u64,
                 memory_hits,
                 disk_hits,
+                verified,
                 &timings,
                 Some(&stats),
             );
@@ -278,6 +323,7 @@ impl Engine {
                 deduplicated as u64,
                 memory_hits,
                 disk_hits,
+                verified,
                 &timings,
                 None,
             );
@@ -322,6 +368,13 @@ impl Engine {
         self.store.clear();
     }
 
+    /// Folds a fuzzing campaign's iteration count into the run report
+    /// (the binaries run the `bsched-verify` fuzzer alongside a
+    /// verifying grid sweep and report both through one channel).
+    pub fn record_fuzz(&self, iterations: u64) {
+        self.report.lock().expect("report poisoned").fuzz_iterations += iterations;
+    }
+
     fn execute(&self, cell: &ExperimentCell) -> Result<CellResult, HarnessError> {
         let idx = self.index[cell.kernel()];
         let program = &self.kernels[idx].1;
@@ -343,9 +396,29 @@ impl Engine {
                 msg: "simulator diverged from the reference interpreter".to_string(),
             });
         }
+        let verified = if self.config.verify {
+            let v = bsched_verify::verify_cell(program, cell.options(), &run.metrics);
+            if !v.is_clean() {
+                let mut r = self.report.lock().expect("report poisoned");
+                r.violations += v.violations.len() as u64;
+                drop(r);
+                return Err(HarnessError::Cell {
+                    cell: cell.to_string(),
+                    msg: format!(
+                        "verification failed ({} violations): {}",
+                        v.violations.len(),
+                        v.violations.join("; ")
+                    ),
+                });
+            }
+            true
+        } else {
+            false
+        };
         Ok(CellResult {
             metrics: run.metrics,
             checksum_ok: true,
+            verified,
         })
     }
 
@@ -356,6 +429,7 @@ impl Engine {
         deduplicated: u64,
         memory_hits: u64,
         disk_hits: u64,
+        verified: u64,
         timings: &[CellTiming],
         stats: Option<&pool::PoolStats>,
     ) {
@@ -364,6 +438,7 @@ impl Engine {
         r.deduplicated += deduplicated;
         r.memory_hits += memory_hits;
         r.disk_hits += disk_hits;
+        r.verified += verified;
         r.executed += timings.len() as u64;
         r.cell_timings.extend_from_slice(timings);
         if let Some(s) = stats {

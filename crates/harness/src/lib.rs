@@ -24,6 +24,12 @@
 //! 4. **Observability** — a structured [`report::RunReport`]: per-cell
 //!    wall times, worker utilization, cache hit/miss counts, slowest
 //!    cells.
+//! 5. **Verification** — with [`EngineConfig::verify`] (CLI `--verify`,
+//!    env `BSCHED_VERIFY=1`), every executed cell runs the
+//!    `bsched-verify` conformance suite — schedule legality, weight
+//!    cross-check, differential replay, metamorphic invariants — and
+//!    violations fail the run. Results carry a `verified` flag through
+//!    both cache layers; a verifying run recomputes unverified entries.
 //!
 //! Output is deterministic by construction: results are keyed by cell
 //! and looked up in the caller's iteration order, so emitted tables and

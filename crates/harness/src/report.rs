@@ -24,6 +24,14 @@ pub struct RunReport {
     pub disk_hits: u64,
     /// Cells actually executed (cache misses).
     pub executed: u64,
+    /// Cells whose conformance suite passed (executed under `--verify`,
+    /// or served from a cache entry that was verified when computed).
+    pub verified: u64,
+    /// Conformance violations found (a nonzero count always accompanies
+    /// a run failure — violations are errors, not warnings).
+    pub violations: u64,
+    /// Iterations completed by the pipeline fuzzer, when one ran.
+    pub fuzz_iterations: u64,
     /// Worker count used for parallel batches.
     pub workers: usize,
     /// Busy time per worker, summed over batches.
@@ -90,6 +98,13 @@ impl RunReport {
             self.executed,
             self.hit_rate() * 100.0
         );
+        if self.verified > 0 || self.violations > 0 || self.fuzz_iterations > 0 {
+            let _ = writeln!(
+                s,
+                "verification: {} cells verified, {} violations, {} fuzz iterations",
+                self.verified, self.violations, self.fuzz_iterations
+            );
+        }
         if self.executed > 0 {
             let total_busy: Duration = self.worker_busy.iter().sum();
             let _ = writeln!(

@@ -154,6 +154,113 @@ fn same_label_different_options_are_distinct_cells() {
 }
 
 #[test]
+fn corrupt_cache_documents_recompute_without_panicking() {
+    use bsched_harness::disk::DiskCache;
+    let dir = tmp_dir("corruption");
+    let cells = cells();
+    let cfg = || {
+        EngineConfig::default()
+            .with_jobs(2)
+            .with_cache_dir(dir.clone())
+    };
+
+    let cold = Engine::new(kernels(), cfg());
+    cold.run(&cells).expect("cold run");
+    let want = fingerprint(&cold, &cells);
+    drop(cold);
+
+    // Damage three documents three different ways: truncation (torn
+    // write), garbage bytes, and a wrong schema stamp.
+    let disk = DiskCache::new(&dir, true);
+    let paths: Vec<PathBuf> = cells.iter().take(3).map(|c| disk.path_for(c)).collect();
+    let full = std::fs::read_to_string(&paths[0]).unwrap();
+    std::fs::write(&paths[0], &full[..full.len() / 2]).unwrap();
+    std::fs::write(&paths[1], b"\x00\xffnot json at all").unwrap();
+    std::fs::write(
+        &paths[2],
+        full.replacen("\"schema\":", "\"schema\":9999, \"x\":", 1),
+    )
+    .unwrap();
+
+    // A fresh engine treats all three as misses — recomputed, counted
+    // as executions, results unchanged.
+    let warm = Engine::new(kernels(), cfg());
+    warm.run(&cells).expect("corruption must not fail the run");
+    let report = warm.report();
+    assert_eq!(report.executed, 3, "each damaged document recomputes");
+    assert_eq!(report.disk_hits, cells.len() as u64 - 3);
+    assert_eq!(fingerprint(&warm, &cells), want);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verifying_run_proves_every_cell_and_reports_it() {
+    let cells = cells();
+    let cfg = EngineConfig::default()
+        .with_jobs(2)
+        .with_disk_cache(false)
+        .with_verify(true);
+    let engine = Engine::new(kernels(), cfg);
+    engine.run(&cells).expect("grid verifies");
+    let report = engine.report();
+    assert_eq!(report.executed, cells.len() as u64);
+    assert_eq!(report.verified, cells.len() as u64);
+    assert_eq!(report.violations, 0);
+    for c in &cells {
+        assert!(engine.result(c).unwrap().verified, "{c} not verified");
+    }
+    assert!(report.render().contains("cells verified"));
+}
+
+#[test]
+fn verifying_run_recomputes_unverified_cache_entries() {
+    let dir = tmp_dir("verify-upgrade");
+    let cells = cells();
+    let cfg = |verify: bool| {
+        EngineConfig::default()
+            .with_jobs(2)
+            .with_cache_dir(dir.clone())
+            .with_verify(verify)
+    };
+
+    // Plain run: results cached with verified == false.
+    let plain = Engine::new(kernels(), cfg(false));
+    plain.run(&cells).expect("plain run");
+    let want = fingerprint(&plain, &cells);
+    drop(plain);
+
+    // A verifying engine must not trust them: every cell re-executes
+    // (now under the conformance suite) and the upgraded entries land
+    // back on disk.
+    let checking = Engine::new(kernels(), cfg(true));
+    checking.run(&cells).expect("verifying run");
+    assert_eq!(checking.report().disk_hits, 0, "unverified entries are misses");
+    assert_eq!(checking.report().executed, cells.len() as u64);
+    assert_eq!(fingerprint(&checking, &cells), want);
+    drop(checking);
+
+    // Once verified, both verifying and plain engines take the hits.
+    for verify in [true, false] {
+        let warm = Engine::new(kernels(), cfg(verify));
+        warm.run(&cells).expect("warm run");
+        assert_eq!(warm.report().disk_hits, cells.len() as u64, "verify={verify}");
+        assert_eq!(warm.report().executed, 0, "verify={verify}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_iterations_reach_the_report() {
+    let engine = Engine::new(kernels(), EngineConfig::default().with_disk_cache(false));
+    engine.record_fuzz(1234);
+    let report = engine.report();
+    assert_eq!(report.fuzz_iterations, 1234);
+    assert!(report.render().contains("1234 fuzz iterations"));
+}
+
+#[test]
 fn unknown_kernels_are_rejected() {
     let cfg = EngineConfig::default().with_disk_cache(false);
     let engine = Engine::new(kernels(), cfg);

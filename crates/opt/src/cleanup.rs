@@ -107,6 +107,18 @@ pub fn merge_straight_chains(func: &mut Function) -> usize {
             let x_block = func.block_mut(x);
             x_block.insts.extend(insts);
             x_block.term = term;
+            // Loop metadata naming the dissolved block now means X: a
+            // loop whose preheader (or exit) was folded away would
+            // otherwise send later passes — e.g. the unroller's bound
+            // materialization — into an unreachable stub.
+            for l in &mut func.loops {
+                if l.preheader == y {
+                    l.preheader = x;
+                }
+                if l.exit == y {
+                    l.exit = x;
+                }
+            }
             merges += 1;
             did = true;
             break; // CFG changed; recompute.

@@ -71,6 +71,29 @@ fn fits_disp(d: i64) -> bool {
     (-32000..=32000).contains(&d)
 }
 
+/// True when every path from the function entry to `header` passes
+/// through `preheader` — i.e. code placed in the preheader is guaranteed
+/// to execute before the loop is entered. Checked by deleting the
+/// preheader from the graph: if the header is still reachable, some
+/// path bypasses it.
+fn preheader_dominates_header(func: &Function, preheader: BlockId, header: BlockId) -> bool {
+    if preheader == header {
+        return false;
+    }
+    let mut seen = vec![false; func.blocks().len()];
+    let mut stack = vec![func.entry()];
+    while let Some(b) = stack.pop() {
+        if b == preheader || std::mem::replace(&mut seen[b.index()], true) {
+            continue;
+        }
+        if b == header {
+            return false;
+        }
+        stack.extend(func.block(b).term.successors());
+    }
+    true
+}
+
 /// Checks a loop against the canonical shape and the limits; returns the
 /// body block if unrollable.
 fn unrollable_body(func: &Function, loop_idx: usize, limits: &UnrollLimits) -> Option<BlockId> {
@@ -90,6 +113,15 @@ fn unrollable_body(func: &Function, loop_idx: usize, limits: &UnrollLimits) -> O
     }
     let body = l.body[0];
     if func.block(body).term != Terminator::Jmp(l.latch) {
+        return None;
+    }
+    // The unroller materializes the adjusted bound in the preheader, so
+    // the preheader must gate every entry into the loop. A stale
+    // preheader (one a structural pass dissolved without updating loop
+    // metadata) is dead or bypassed and must be refused, not written
+    // into. Peeling is still fine: its guard chain hangs off the real
+    // preheader.
+    if !preheader_dominates_header(func, l.preheader, l.header) {
         return None;
     }
     // Canonical latch: exactly the counter increment.
@@ -542,6 +574,54 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, 1, "only the inner loop unrolls");
         assert_eq!(checksum(&p), want);
+    }
+
+    #[test]
+    fn stale_preheader_metadata_is_refused_not_miscompiled() {
+        // An `if` before a nested loop: predication dissolves the if's
+        // join block — which is the inner loop's preheader — into the
+        // outer body. Found by the bsched-verify fuzzer: unrolling then
+        // materialized the adjusted bound into the dead stub, so the
+        // main loop never ran. The merge pass now retargets the loop
+        // metadata, and this shape must unroll *and* stay correct.
+        use bsched_workloads::lang::ast::CmpOp;
+        let mut k = Kernel::new("join_preheader");
+        let a = k.array("a", 20, ArrayInit::Ramp(0.5, 0.25));
+        let s0 = k.float_var("s0");
+        let s1 = k.float_var("s1");
+        let i = k.int_var("i");
+        let j = k.int_var("j");
+        k.push(k.assign(s0, Expr::Float(0.5)));
+        k.push(k.assign(s1, Expr::Float(0.25)));
+        let inner = vec![k.store(
+            a,
+            Index::of_plus(j, 1),
+            Expr::IntToFloat(Box::new(Expr::Var(j))) * Expr::Float(2.0),
+        )];
+        let body = vec![
+            Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::Var(i), Expr::Int(1)),
+                then_: vec![k.assign(s1, Expr::div(Expr::Var(s0), Expr::Float(1.5)))],
+                else_: vec![],
+            },
+            k.for_loop(j, Expr::Int(0), Expr::Int(10), inner),
+        ];
+        k.push(k.for_loop(i, Expr::Int(0), Expr::Int(3), body));
+        k.push(k.store(a, Index::constant(0), Expr::Var(s1)));
+        let mut p = k.lower();
+        let want = checksum(&p);
+        crate::predicate::predicate_function(p.main_mut());
+        assert_eq!(checksum(&p), want);
+        let inner_idx = p
+            .main()
+            .loops
+            .iter()
+            .position(|l| l.parent.is_some())
+            .expect("nest survives predication");
+        let r = unroll_loop(p.main_mut(), inner_idx, &UnrollLimits::for_factor(8));
+        assert!(r.is_some(), "retargeted preheader metadata must unroll");
+        assert!(bsched_ir::verify_program(&p).is_ok());
+        assert_eq!(checksum(&p), want, "unrolled nest diverged");
     }
 
     #[test]

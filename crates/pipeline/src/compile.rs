@@ -1,7 +1,7 @@
 //! The compilation pipeline.
 
 use crate::options::CompileOptions;
-use bsched_core::schedule_function_with;
+use bsched_core::{schedule_function_audited, schedule_function_with, ScheduleAudit};
 use bsched_ir::{ExecError, Interp, Program, VerifyError};
 use bsched_opt::{
     apply_locality, copy_propagate, dead_code_elim, local_cse, merge_straight_chains,
@@ -103,6 +103,27 @@ pub(crate) fn compile_impl(
     source: &Program,
     opts: &CompileOptions,
 ) -> Result<Compiled, PipelineError> {
+    let mut sink = None;
+    compile_inner(source, opts, false, &mut sink)
+}
+
+/// [`compile_impl`] that also returns the basic-block scheduling audit
+/// (pre-schedule regions, weights, emitted orders) for the verifier.
+pub(crate) fn compile_audited_impl(
+    source: &Program,
+    opts: &CompileOptions,
+) -> Result<(Compiled, ScheduleAudit), PipelineError> {
+    let mut sink = None;
+    let compiled = compile_inner(source, opts, true, &mut sink)?;
+    Ok((compiled, sink.expect("audited compile records an audit")))
+}
+
+fn compile_inner(
+    source: &Program,
+    opts: &CompileOptions,
+    audited: bool,
+    sink: &mut Option<ScheduleAudit>,
+) -> Result<Compiled, PipelineError> {
     bsched_ir::verify_program(source)?;
     let reference = Interp::new(source).run()?;
 
@@ -181,7 +202,15 @@ pub(crate) fn compile_impl(
     }
 
     // 6. Basic-block scheduling.
-    schedule_function_with(p.main_mut(), &opts.weight_config(), opts.tie_break);
+    if audited {
+        *sink = Some(schedule_function_audited(
+            p.main_mut(),
+            &opts.weight_config(),
+            opts.tie_break,
+        ));
+    } else {
+        schedule_function_with(p.main_mut(), &opts.weight_config(), opts.tie_break);
+    }
 
     // 7. Register allocation.
     stats.alloc = allocate(&mut p);

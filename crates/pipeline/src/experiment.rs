@@ -397,6 +397,19 @@ impl Session {
     pub fn compile(&self) -> Result<Compiled, PipelineError> {
         compile_impl(&self.program, &self.options)
     }
+
+    /// [`Session::compile`] that also returns the basic-block scheduling
+    /// audit — the pre-schedule region instructions, the weights the list
+    /// scheduler saw, and the emitted orders. `bsched-verify` rebuilds
+    /// each region's dependence DAG from this record and proves the
+    /// schedule legal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`]s from compilation.
+    pub fn compile_audited(&self) -> Result<(Compiled, bsched_core::ScheduleAudit), PipelineError> {
+        crate::compile::compile_audited_impl(&self.program, &self.options)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! The pre-0.3 entry points — the free functions `compile` and
+//! `compile_and_run`, and the `Runner` memoizer — survive as
+//! `#[deprecated]` shims over the same implementation the `Experiment`
+//! builder uses. These tests pin the equivalence: the shims must keep
+//! producing bit-identical results to the builder until they are
+//! removed, so downstream code can migrate incrementally.
+
+#![allow(deprecated)]
+
+use bsched_pipeline::{
+    compile, compile_and_run, resolve_kernel, CompileOptions, ConfigKind, Experiment,
+    ExperimentConfig, Runner, SchedulerKind,
+};
+
+fn options() -> CompileOptions {
+    CompileOptions::new(SchedulerKind::Balanced).with_unroll(4)
+}
+
+#[test]
+fn deprecated_compile_matches_the_builder() {
+    let program = resolve_kernel("TRFD").unwrap();
+    let opts = options();
+    let old = compile(&program, &opts).expect("shim compiles");
+    let new = Experiment::builder()
+        .program("TRFD", program)
+        .compile_options(opts)
+        .build()
+        .unwrap()
+        .compile()
+        .expect("builder compiles");
+    // Debug output covers every instruction and statistic field, so
+    // equal strings mean equal compilations.
+    assert_eq!(format!("{:?}", old.stats), format!("{:?}", new.stats));
+    assert_eq!(
+        format!("{:?}", old.program),
+        format!("{:?}", new.program),
+        "shim and builder compiled different code"
+    );
+}
+
+#[test]
+fn deprecated_compile_and_run_matches_the_builder() {
+    let program = resolve_kernel("ora").unwrap();
+    let opts = options();
+    let old = compile_and_run(&program, &opts).expect("shim runs");
+    let new = Experiment::builder()
+        .program("ora", program)
+        .compile_options(opts)
+        .build()
+        .unwrap()
+        .run()
+        .expect("builder runs");
+    assert!(old.checksum_ok);
+    assert!(new.checksum_ok);
+    assert_eq!(format!("{:?}", old.metrics), format!("{:?}", new.metrics));
+    assert_eq!(format!("{:?}", old.compile), format!("{:?}", new.compile));
+}
+
+#[test]
+fn deprecated_runner_matches_the_builder() {
+    let program = resolve_kernel("TRFD").unwrap();
+    let config = ExperimentConfig {
+        scheduler: SchedulerKind::Balanced,
+        kind: ConfigKind::Base,
+    };
+    let mut runner = Runner::new();
+    let old = runner
+        .run("TRFD", &program, config)
+        .expect("runner runs")
+        .metrics
+        .clone();
+    // A second call must be answered from the memo, identically.
+    let again = runner.run("TRFD", &program, config).unwrap().metrics.clone();
+    assert_eq!(format!("{old:?}"), format!("{again:?}"));
+    let new = Experiment::builder()
+        .program("TRFD", program)
+        .compile_options(config.options())
+        .build()
+        .unwrap()
+        .run()
+        .expect("builder runs");
+    assert_eq!(format!("{old:?}"), format!("{:?}", new.metrics));
+}

@@ -1,0 +1,191 @@
+//! The differential oracle: compare the optimized pipeline's observable
+//! behaviour against independent reference implementations.
+//!
+//! Two diffs run per cell:
+//!
+//! * **Checksum** — the compiled (optimized, scheduled, allocated)
+//!   program is replayed through `ir::interp` and its memory-image
+//!   checksum compared against the *unoptimized* source program's. This
+//!   repeats, from outside, the cross-check the pipeline performs
+//!   internally — an independent replay that a pipeline bug cannot
+//!   silently skip.
+//! * **Weights** — every audited region's weight vector is recomputed
+//!   with both the bitset kernel ([`bsched_core::compute_weights`]) and
+//!   the retained naive reference
+//!   ([`bsched_core::compute_weights_reference`]); all three must agree
+//!   bit for bit.
+
+use bsched_core::{compute_weights, compute_weights_reference, ScheduleAudit};
+use bsched_ir::{Dag, ExecError, Interp, Program};
+use std::fmt;
+
+/// One differential divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffViolation {
+    /// The compiled program's memory image differs from the unoptimized
+    /// baseline's.
+    ChecksumDiverged {
+        /// FNV-1a checksum of the baseline (source) memory image.
+        baseline: u64,
+        /// FNV-1a checksum of the compiled program's memory image.
+        compiled: u64,
+    },
+    /// A region's scheduler weights disagree with a reference
+    /// recomputation.
+    WeightsDiverged {
+        /// Index of the region in the audit.
+        region: usize,
+        /// First instruction index whose weight differs.
+        index: usize,
+        /// The weight the scheduler used.
+        scheduled: u32,
+        /// The weight the bitset kernel recomputes.
+        kernel: u32,
+        /// The weight the naive reference computes.
+        reference: u32,
+    },
+}
+
+impl fmt::Display for DiffViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffViolation::ChecksumDiverged { baseline, compiled } => write!(
+                f,
+                "compiled program diverged from the unoptimized baseline: \
+                 checksum {compiled:#018x} vs {baseline:#018x}"
+            ),
+            DiffViolation::WeightsDiverged {
+                region,
+                index,
+                scheduled,
+                kernel,
+                reference,
+            } => write!(
+                f,
+                "weights diverged in region {region} at instruction {index}: \
+                 scheduled with {scheduled}, kernel recomputes {kernel}, \
+                 naive reference {reference}"
+            ),
+        }
+    }
+}
+
+/// Replays both programs through the reference interpreter and compares
+/// final memory checksums.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`]s if either program fails to execute.
+pub fn check_checksum(
+    baseline: &Program,
+    compiled: &Program,
+) -> Result<Vec<DiffViolation>, ExecError> {
+    check_checksum_with_fuel(baseline, compiled, Interp::DEFAULT_FUEL)
+}
+
+/// [`check_checksum`] under an explicit instruction budget — the fuzzer
+/// uses a tight budget so a runaway generated program fails fast.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`]s (including fuel exhaustion) if either
+/// program fails to execute.
+pub fn check_checksum_with_fuel(
+    baseline: &Program,
+    compiled: &Program,
+    fuel: u64,
+) -> Result<Vec<DiffViolation>, ExecError> {
+    let base = Interp::new(baseline).with_fuel(fuel).run()?;
+    let comp = Interp::new(compiled).with_fuel(fuel).run()?;
+    let mut violations = Vec::new();
+    if base.checksum != comp.checksum {
+        violations.push(DiffViolation::ChecksumDiverged {
+            baseline: base.checksum,
+            compiled: comp.checksum,
+        });
+    }
+    Ok(violations)
+}
+
+/// Recomputes every audited region's weights with both implementations
+/// and reports any disagreement with the weights the scheduler ran on.
+#[must_use]
+pub fn check_weights(audit: &ScheduleAudit) -> Vec<DiffViolation> {
+    let mut violations = Vec::new();
+    for (ri, region) in audit.regions.iter().enumerate() {
+        let dag = Dag::new(&region.insts);
+        let kernel = compute_weights(&region.insts, &dag, &audit.config);
+        let reference = compute_weights_reference(&region.insts, &dag, &audit.config);
+        for (i, &w) in region.weights.iter().enumerate() {
+            if w != kernel[i] || w != reference[i] {
+                violations.push(DiffViolation::WeightsDiverged {
+                    region: ri,
+                    index: i,
+                    scheduled: w,
+                    kernel: kernel[i],
+                    reference: reference[i],
+                });
+                break; // one per region keeps reports readable
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_core::{RegionSchedule, SchedulerKind, TieBreak, WeightConfig};
+    use bsched_ir::{Inst, Op, Reg, RegClass, RegionId};
+    use bsched_pipeline::Experiment;
+
+    #[test]
+    fn identical_programs_have_no_checksum_diff() {
+        let session = Experiment::builder().kernel("TRFD").build().unwrap();
+        let compiled = session.compile().unwrap();
+        let v = check_checksum(session.source(), &compiled.program).unwrap();
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn audited_weights_agree_with_both_implementations() {
+        let session = Experiment::builder().kernel("TRFD").build().unwrap();
+        let (_, audit) = session.compile_audited().unwrap();
+        assert!(!audit.regions.is_empty());
+        assert_eq!(check_weights(&audit), vec![]);
+    }
+
+    #[test]
+    fn corrupted_weights_are_caught() {
+        let r = |n| Reg::virt(RegClass::Int, n);
+        let f = |n| Reg::virt(RegClass::Float, n);
+        let insts = vec![
+            Inst::load(f(0), r(0), 0).with_region(RegionId::new(0)),
+            Inst::op(Op::FAdd, f(1), &[f(0), f(0)]),
+            Inst::op(Op::FMul, f(2), &[f(5), f(6)]),
+        ];
+        let config = WeightConfig::new(SchedulerKind::Balanced);
+        let dag = Dag::new(&insts);
+        let mut weights = compute_weights(&insts, &dag, &config);
+        weights[0] += 1; // a corrupted weight vector
+        let audit = ScheduleAudit {
+            config,
+            tie_break: TieBreak::Standard,
+            regions: vec![RegionSchedule {
+                block: 0,
+                insts,
+                weights,
+                order: vec![0, 1, 2],
+            }],
+        };
+        let v = check_weights(&audit);
+        assert!(matches!(
+            v.as_slice(),
+            [DiffViolation::WeightsDiverged {
+                region: 0,
+                index: 0,
+                ..
+            }]
+        ));
+    }
+}

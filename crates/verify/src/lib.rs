@@ -1,0 +1,148 @@
+//! `bsched-verify` — the conformance subsystem: proofs that the numbers
+//! in every table came from legal schedules and a sound machine.
+//!
+//! Four pillars, one per module:
+//!
+//! * [`legality`] — the schedule-legality validator. Rebuilds each
+//!   region's dependence DAG from a [`bsched_core::ScheduleAudit`] and
+//!   proves the emitted order is a permutation that respects every
+//!   dependence edge and the issue-latency floor.
+//! * [`differential`] — the differential oracle. Replays optimized code
+//!   through the reference interpreter against the unoptimized baseline,
+//!   and recomputes scheduler weights with both the bitset kernel and
+//!   the retained naive implementation.
+//! * [`metamorphic`] — invariants every simulated run must satisfy:
+//!   cycle accounting, cache-stats conservation, and all-hit
+//!   balanced/traditional closeness.
+//! * [`fuzz`] — a seeded pipeline fuzzer that generates random
+//!   loop-language kernels, drives them through the full stack under a
+//!   fuel budget, and shrinks failures to minimal reproducers.
+//!
+//! The harness (`bsched-harness`) calls [`verify_cell`] on every
+//! executed grid cell when verification is requested (`--verify` /
+//! `BSCHED_VERIFY=1`); violations fail the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod fuzz;
+pub mod legality;
+pub mod metamorphic;
+
+pub use differential::{check_checksum, check_checksum_with_fuel, check_weights, DiffViolation};
+pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
+pub use legality::{
+    assign_issue_cycles, check_issue_cycles, min_edge_latency, validate_region,
+    validate_region_schedule, Violation,
+};
+pub use metamorphic::{
+    allhit_config, check_allhit_closeness, check_metrics, stall_sum, MetaViolation,
+};
+
+use bsched_ir::Program;
+use bsched_pipeline::{CompileOptions, Experiment};
+use bsched_sim::SimMetrics;
+
+/// The verdict on one grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellVerification {
+    /// Scheduling regions whose legality was proven.
+    pub regions: usize,
+    /// Every violation found, rendered for the report. Empty means the
+    /// cell is verified.
+    pub violations: Vec<String>,
+}
+
+impl CellVerification {
+    /// True when no check failed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the full per-cell conformance suite on one (program × options)
+/// point: recompile with a schedule audit, prove every region's schedule
+/// legal, cross-check the weights against both reference
+/// implementations, replay optimized vs unoptimized code through the
+/// interpreter, and check the metamorphic invariants on `metrics` (the
+/// simulated run the caller already has).
+#[must_use]
+pub fn verify_cell(
+    program: &Program,
+    options: &CompileOptions,
+    metrics: &SimMetrics,
+) -> CellVerification {
+    let mut regions = 0;
+    let mut violations = Vec::new();
+    let session = Experiment::builder()
+        .program("cell", program.clone())
+        .compile_options(*options)
+        .build()
+        .expect("program is supplied directly");
+    match session.compile_audited() {
+        Ok((compiled, audit)) => {
+            regions = audit.regions.len();
+            for (ri, region) in audit.regions.iter().enumerate() {
+                for v in legality::validate_region_schedule(region) {
+                    violations.push(format!("region {ri}: {v}"));
+                }
+            }
+            for v in differential::check_weights(&audit) {
+                violations.push(v.to_string());
+            }
+            match differential::check_checksum(session.source(), &compiled.program) {
+                Ok(vs) => violations.extend(vs.iter().map(ToString::to_string)),
+                Err(e) => violations.push(format!("interpreter error: {e}")),
+            }
+        }
+        Err(e) => violations.push(format!("audited recompile failed: {e}")),
+    }
+    violations.extend(
+        metamorphic::check_metrics(metrics)
+            .iter()
+            .map(ToString::to_string),
+    );
+    CellVerification {
+        regions,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_core::SchedulerKind;
+    use bsched_pipeline::resolve_kernel;
+
+    #[test]
+    fn a_real_cell_verifies_clean() {
+        let program = resolve_kernel("TRFD").unwrap();
+        let options = CompileOptions::new(SchedulerKind::Balanced);
+        let session = Experiment::builder()
+            .program("TRFD", program.clone())
+            .compile_options(options)
+            .build()
+            .unwrap();
+        let run = session.run().unwrap();
+        let v = verify_cell(&program, &options, &run.metrics);
+        assert!(v.regions > 0);
+        assert!(v.is_clean(), "violations: {:#?}", v.violations);
+    }
+
+    #[test]
+    fn corrupted_metrics_fail_the_cell() {
+        let program = resolve_kernel("TRFD").unwrap();
+        let options = CompileOptions::new(SchedulerKind::Balanced);
+        let session = Experiment::builder()
+            .program("TRFD", program.clone())
+            .compile_options(options)
+            .build()
+            .unwrap();
+        let mut metrics = session.run().unwrap().metrics;
+        metrics.cycles = 1; // below any plausible accounting floor
+        let v = verify_cell(&program, &options, &metrics);
+        assert!(!v.is_clean());
+    }
+}

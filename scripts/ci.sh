@@ -28,6 +28,27 @@ warm="$(run_smoke 1)"
 lines="$(printf '%s\n' "$cold" | wc -l)"
 [ "$lines" -eq 31 ] || { echo "FAIL: expected 31 output lines, got $lines"; exit 1; }
 
+echo "== verify gate: conformance suite on 2 kernels + fuzz smoke =="
+# Re-runs the same subset under --verify: every cell's schedule is
+# proven legal, weights cross-checked against the reference
+# implementation, the compiled code replayed through the interpreter,
+# and the simulator metrics checked against the metamorphic
+# invariants. The cold smoke above cached the cells *unverified*, so
+# this also exercises the recompute-on-unverified path. Then a
+# 2,000-iteration seeded fuzz campaign (time-budgeted so slow machines
+# stop early rather than time out) drives random kernels through the
+# full pipeline. Any violation or fuzz failure exits nonzero; the
+# verified output must be byte-identical to the unverified run.
+VERIFY_ERR="$SMOKE_CACHE/verify.err"
+verified="$(BSCHED_CACHE_DIR="$SMOKE_CACHE" \
+    ./target/release/all_experiments --verify --kernels ARC2D,TRFD \
+        --fuzz 2000 --fuzz-seconds 120 2>"$VERIFY_ERR")" \
+    || { cat "$VERIFY_ERR"; echo "FAIL: verify gate"; exit 1; }
+[ "$verified" = "$cold" ] || { echo "FAIL: --verify changed stdout"; exit 1; }
+grep "verification:" "$VERIFY_ERR" || { echo "FAIL: no verification report"; exit 1; }
+grep -q "verification: .* 0 violations" "$VERIFY_ERR" \
+    || { cat "$VERIFY_ERR"; echo "FAIL: violations found"; exit 1; }
+
 echo "== smoke: weights microbench vs recorded BENCH_pr2.json baseline =="
 # Re-measures the naive-reference vs bitset-kernel arms, writes a fresh
 # BENCH_pr2.json next to the cache dir, and fails if any case's speedup
