@@ -52,6 +52,26 @@ struct Cli {
     fuzz: Option<u64>,
     fuzz_seed: u64,
     fuzz_seconds: Option<u64>,
+    trace_json: Option<String>,
+    trace_chrome: Option<String>,
+    trace_summary: bool,
+}
+
+impl Cli {
+    /// Whether any tracing sink was requested (turns the recorder on).
+    fn tracing(&self) -> bool {
+        self.trace_json.is_some() || self.trace_chrome.is_some() || self.trace_summary
+    }
+}
+
+/// Fails fast (exit 2) when a trace export path cannot be opened for
+/// writing, before any cell executes.
+fn ensure_writable(flag: &str, path: &str) {
+    let probe = std::fs::OpenOptions::new().write(true).create(true).open(path);
+    if let Err(e) = probe {
+        eprintln!("{flag}: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn parse_args(args: &[String]) -> Cli {
@@ -62,6 +82,9 @@ fn parse_args(args: &[String]) -> Cli {
         fuzz: None,
         fuzz_seed: 0xB5ED,
         fuzz_seconds: None,
+        trace_json: None,
+        trace_chrome: None,
+        trace_summary: false,
     };
     let value = |i: usize, flag: &str| -> String {
         args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -108,10 +131,62 @@ fn parse_args(args: &[String]) -> Cli {
             i += 1;
         } else if let Some(v) = a.strip_prefix("--fuzz-seconds=") {
             cli.fuzz_seconds = Some(number(v, "--fuzz-seconds"));
+        } else if a == "--trace-json" {
+            cli.trace_json = Some(value(i, "--trace-json"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--trace-json=") {
+            cli.trace_json = Some(v.to_string());
+        } else if a == "--trace-chrome" {
+            cli.trace_chrome = Some(value(i, "--trace-chrome"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--trace-chrome=") {
+            cli.trace_chrome = Some(v.to_string());
+        } else if a == "--trace-summary" {
+            cli.trace_summary = true;
         }
         i += 1;
     }
+    if let Some(path) = &cli.trace_json {
+        ensure_writable("--trace-json", path);
+    }
+    if let Some(path) = &cli.trace_chrome {
+        ensure_writable("--trace-chrome", path);
+    }
     cli
+}
+
+/// Renders the harness run report — plus trace exports and the trace
+/// summary when requested — and emits everything to stderr in one
+/// atomic write.
+fn finish(grid: &Grid, cli: &Cli) {
+    let mut err = grid.report().render();
+    if cli.tracing() {
+        let trace = bsched_trace::TraceReport::new(bsched_trace::drain());
+        if let Some(path) = &cli.trace_json {
+            match std::fs::write(path, trace.to_json_string()) {
+                Ok(()) => {
+                    let _ = writeln!(err, "wrote trace {path} ({} events)", trace.events().len());
+                }
+                Err(e) => {
+                    let _ = writeln!(err, "could not write trace {path}: {e}");
+                }
+            }
+        }
+        if let Some(path) = &cli.trace_chrome {
+            match std::fs::write(path, trace.to_chrome_json_string()) {
+                Ok(()) => {
+                    let _ = writeln!(err, "wrote chrome trace {path}");
+                }
+                Err(e) => {
+                    let _ = writeln!(err, "could not write chrome trace {path}: {e}");
+                }
+            }
+        }
+        if cli.trace_summary {
+            err.push_str(&trace.summary());
+        }
+    }
+    bsched_harness::emit_stderr(&err);
 }
 
 fn run_fuzz(grid: &Grid, cli: &Cli) {
@@ -123,16 +198,19 @@ fn run_fuzz(grid: &Grid, cli: &Cli) {
     let report = bsched_verify::fuzz(&cfg);
     grid.engine().record_fuzz(report.iterations);
     if !report.failures.is_empty() {
+        let mut err = String::new();
         for f in &report.failures {
-            eprintln!(
+            let _ = writeln!(
+                err,
                 "fuzz failure at iteration {} ({}): {}",
                 f.iteration,
                 f.label,
                 f.messages.join("; ")
             );
-            eprintln!("{}", f.reproducer);
+            let _ = writeln!(err, "{}", f.reproducer);
         }
-        eprint!("{}", grid.report().render());
+        err.push_str(&grid.report().render());
+        bsched_harness::emit_stderr(&err);
         std::process::exit(1);
     }
 }
@@ -140,6 +218,9 @@ fn run_fuzz(grid: &Grid, cli: &Cli) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args);
+    if cli.tracing() {
+        bsched_trace::set_enabled(true);
+    }
     let csv = cli.csv;
     let filter = cli.filter.clone();
 
@@ -212,7 +293,7 @@ fn main() {
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
         run_fuzz(&grid, &cli);
-        eprint!("{}", grid.report().render());
+        finish(&grid, &cli);
         return;
     }
     println!(
@@ -237,5 +318,5 @@ fn main() {
         }
     }
     run_fuzz(&grid, &cli);
-    eprint!("{}", grid.report().render());
+    finish(&grid, &cli);
 }

@@ -73,5 +73,5 @@ fn main() {
          modeling the 21164\" — the simple model hides the fixed-latency\n\
          competition that dilutes balanced scheduling on real machines."
     );
-    eprint!("{}", grid.report().render());
+    grid.report().emit();
 }

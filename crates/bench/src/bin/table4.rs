@@ -72,5 +72,5 @@ fn main() {
         pct(mean(&avg[5])),
     ]);
     println!("{t}");
-    eprint!("{}", grid.report().render());
+    grid.report().emit();
 }

@@ -51,5 +51,5 @@ fn main() {
     }
     t.row(avg_row);
     println!("{t}");
-    eprint!("{}", grid.report().render());
+    grid.report().emit();
 }

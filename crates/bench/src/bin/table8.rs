@@ -80,5 +80,5 @@ fn main() {
         ]);
     }
     println!("{t}");
-    eprint!("{}", grid.report().render());
+    grid.report().emit();
 }

@@ -68,5 +68,5 @@ fn main() {
         t.row(vec![label.to_string(), col1, ratio(mean(&vs_bs))]);
     }
     println!("{t}");
-    eprint!("{}", grid.report().render());
+    grid.report().emit();
 }

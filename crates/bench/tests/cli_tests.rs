@@ -52,3 +52,52 @@ fn bad_fuzz_values_are_rejected() {
         assert_eq!(out.status.code(), Some(2), "{args:?}");
     }
 }
+
+#[test]
+fn unwritable_trace_paths_are_rejected_before_any_cell_runs() {
+    for flag in ["--trace-json", "--trace-chrome"] {
+        let bad = "/nonexistent-bsched-dir/trace.json";
+        for args in [vec![flag, bad], vec![&format!("{flag}={bad}")[..]]] {
+            let out = all_experiments().args(&args).output().unwrap();
+            assert_eq!(out.status.code(), Some(2), "{args:?}");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(err.contains("cannot write"), "{args:?}: {err}");
+            assert!(err.contains(flag), "{args:?} must name the flag: {err}");
+            assert!(out.stdout.is_empty(), "{args:?} must not start the grid");
+        }
+    }
+}
+
+#[test]
+fn missing_trace_path_values_are_rejected() {
+    for flag in ["--trace-json", "--trace-chrome"] {
+        let out = all_experiments().arg(flag).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains(flag));
+    }
+}
+
+#[test]
+fn trace_summary_composes_with_verify_and_kernels() {
+    let out = all_experiments()
+        .args(["--kernels", "TRFD", "--verify", "--trace-summary"])
+        .env("BSCHED_JOBS", "2")
+        .env("BSCHED_NO_CACHE", "1")
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "verified traced run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("verification:") && err.contains("0 violations"),
+        "--verify report missing: {err}"
+    );
+    assert!(
+        err.contains("── bsched-trace summary"),
+        "--trace-summary section missing: {err}"
+    );
+}

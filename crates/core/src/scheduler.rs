@@ -353,6 +353,31 @@ fn schedule_function_inner(
         let insts = std::mem::take(&mut func.block_mut(id).insts);
         let dag = Dag::new(&insts);
         let weights = compute_weights(&insts, &dag, config);
+        // Region-level stats only — never inside the candidate loop, so
+        // the scheduler's hot path stays at current speed.
+        if bsched_trace::enabled() {
+            let loads = insts.iter().filter(|i| i.op.is_load()).count() as u64;
+            bsched_trace::instant(
+                bsched_trace::points::SCHED_REGION,
+                func.name(),
+                &[
+                    ("block", bi as u64),
+                    ("insts", insts.len() as u64),
+                    ("loads", loads),
+                    ("weight_sum", weights.iter().map(|&w| u64::from(w)).sum()),
+                    ("weight_max", weights.iter().copied().max().unwrap_or(0).into()),
+                ],
+            );
+            for (slot, (inst, &w)) in insts.iter().zip(&weights).enumerate() {
+                if inst.op.is_load() {
+                    bsched_trace::instant(
+                        bsched_trace::points::SCHED_LOAD_WEIGHT,
+                        func.name(),
+                        &[("block", bi as u64), ("slot", slot as u64), ("weight", u64::from(w))],
+                    );
+                }
+            }
+        }
         let order = schedule_region_full(
             &insts,
             &dag,

@@ -286,7 +286,13 @@ impl Engine {
             let (outcomes, stats) = pool::run_jobs(self.config.jobs, misses.len(), |i| {
                 let cell = misses[i];
                 let t0 = Instant::now();
+                let span = bsched_trace::span(bsched_trace::points::HARNESS_CELL)
+                    .label_with(|| cell.to_string());
                 let outcome = self.execute(cell);
+                span.finish(&[]);
+                // Workers flush per cell so a drain on the coordinating
+                // thread sees every event even while the pool is alive.
+                bsched_trace::flush_thread();
                 (outcome, t0.elapsed())
             });
             for (cell, (outcome, wall)) in misses.iter().zip(outcomes) {

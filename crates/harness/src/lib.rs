@@ -51,7 +51,7 @@
 //!     })
 //!     .collect();
 //! engine.run(&cells).expect("grid executes");
-//! eprintln!("{}", engine.report().render());
+//! engine.report().emit(); // one atomic stderr write
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,4 +66,4 @@ pub mod store;
 
 pub use cell::{ExperimentCell, CACHE_SCHEMA_VERSION};
 pub use engine::{CellResult, Engine, EngineConfig, HarnessError};
-pub use report::RunReport;
+pub use report::{emit_stderr, RunReport};

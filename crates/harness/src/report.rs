@@ -2,6 +2,19 @@
 
 use std::time::Duration;
 
+/// Writes `text` to stderr as one `write_all` on the locked handle, so
+/// a multi-line report cannot interleave with lines written by other
+/// threads. The binaries render everything first (run report, trace
+/// summary, diagnostics) and emit the buffer through here — under high
+/// `BSCHED_JOBS` the per-line `eprintln!` path produced torn reports.
+pub fn emit_stderr(text: &str) {
+    use std::io::Write as _;
+    let stderr = std::io::stderr();
+    let mut locked = stderr.lock();
+    let _ = locked.write_all(text.as_bytes());
+    let _ = locked.flush();
+}
+
 /// One executed (cache-missing) cell's timing.
 #[derive(Debug, Clone)]
 pub struct CellTiming {
@@ -130,6 +143,12 @@ impl RunReport {
             }
         }
         s
+    }
+
+    /// Renders and writes the report to stderr atomically (see
+    /// [`emit_stderr`]).
+    pub fn emit(&self) {
+        emit_stderr(&self.render());
     }
 }
 

@@ -419,6 +419,17 @@ pub fn trace_schedule(
         compact_trace(func, options, trace, &mut stats);
     }
     func.loops.clear();
+    if bsched_trace::enabled() {
+        bsched_trace::instant(
+            bsched_trace::points::OPT_TRACE,
+            func.name(),
+            &[
+                ("traces", stats.traces_compacted),
+                ("blocks", stats.blocks_covered),
+                ("compensation", stats.compensation_insts),
+            ],
+        );
+    }
     stats
 }
 

@@ -118,12 +118,37 @@ pub(crate) fn compile_audited_impl(
     Ok((compiled, sink.expect("audited compile records an audit")))
 }
 
+/// Runs one pass under a `pipeline.pass` span recording before/after
+/// static instruction counts. With tracing off this is exactly a call
+/// to `f` — no clock read, no counting, no allocation.
+fn traced_pass<R>(
+    name: &'static str,
+    p: &mut Program,
+    f: impl FnOnce(&mut Program) -> R,
+) -> R {
+    if !bsched_trace::enabled() {
+        return f(p);
+    }
+    let before = p.main().inst_count() as u64;
+    let span = bsched_trace::span(bsched_trace::points::PIPELINE_PASS)
+        .label_with(|| name.to_string())
+        .arg("before", before);
+    let result = f(p);
+    span.finish(&[("after", p.main().inst_count() as u64)]);
+    result
+}
+
 fn compile_inner(
     source: &Program,
     opts: &CompileOptions,
     audited: bool,
     sink: &mut Option<ScheduleAudit>,
 ) -> Result<Compiled, PipelineError> {
+    let mut compile_span = bsched_trace::span(bsched_trace::points::PIPELINE_COMPILE)
+        .label_with(|| source.name().to_string());
+    if compile_span.is_live() {
+        compile_span = compile_span.arg("before", source.main().inst_count() as u64);
+    }
     bsched_ir::verify_program(source)?;
     let reference = Interp::new(source).run()?;
 
@@ -132,15 +157,17 @@ fn compile_inner(
 
     // 1. Predication.
     if opts.predicate {
-        stats.predicated = predicate_function(p.main_mut());
+        stats.predicated = traced_pass("predicate", &mut p, |p| predicate_function(p.main_mut()));
     }
 
     // 1b. Local CSE before the loop transforms, so the unrolling size
     // limits judge bodies the way Multiflow's optimizer would have left
     // them (repeated address chains and loads deduplicated).
-    local_cse(p.main_mut());
-    copy_propagate(p.main_mut());
-    stats.dce_removed += dead_code_elim(p.main_mut());
+    traced_pass("cleanup_pre", &mut p, |p| {
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        stats.dce_removed += dead_code_elim(p.main_mut());
+    });
 
     // 2. Locality analysis (peels/unrolls/marks loops with reuse).
     let mut consumed: HashSet<usize> = HashSet::new();
@@ -149,7 +176,7 @@ fn compile_inner(
             factor: opts.unroll,
             max_body_insts: 128,
         };
-        stats.locality = apply_locality(p.main_mut(), &lopts);
+        stats.locality = traced_pass("locality", &mut p, |p| apply_locality(p.main_mut(), &lopts));
         consumed.extend(stats.locality.loops_processed.iter().copied());
     }
 
@@ -163,30 +190,34 @@ fn compile_inner(
         let budget = opts
             .unroll_budget
             .unwrap_or(UnrollLimits::for_factor(factor).max_body_insts);
-        for idx in p.main().innermost_loops() {
-            if consumed.contains(&idx) {
-                continue;
-            }
-            let mut f = factor;
-            while f >= 2 {
-                let limits = UnrollLimits {
-                    factor: f,
-                    max_body_insts: budget,
-                };
-                if unroll_loop(p.main_mut(), idx, &limits).is_some() {
-                    stats.unrolled_loops += 1;
-                    break;
+        traced_pass("unroll", &mut p, |p| {
+            for idx in p.main().innermost_loops() {
+                if consumed.contains(&idx) {
+                    continue;
                 }
-                f /= 2;
+                let mut f = factor;
+                while f >= 2 {
+                    let limits = UnrollLimits {
+                        factor: f,
+                        max_body_insts: budget,
+                    };
+                    if unroll_loop(p.main_mut(), idx, &limits).is_some() {
+                        stats.unrolled_loops += 1;
+                        break;
+                    }
+                    f /= 2;
+                }
             }
-        }
+        });
     }
 
     // 4. Cleanup (unrolled copies re-expose common subexpressions).
-    local_cse(p.main_mut());
-    copy_propagate(p.main_mut());
-    stats.dce_removed += dead_code_elim(p.main_mut());
-    merge_straight_chains(p.main_mut());
+    traced_pass("cleanup_post", &mut p, |p| {
+        local_cse(p.main_mut());
+        copy_propagate(p.main_mut());
+        stats.dce_removed += dead_code_elim(p.main_mut());
+        merge_straight_chains(p.main_mut());
+    });
     bsched_ir::verify_program(&p)?;
 
     // 5. Trace scheduling, guided by a profile of the transformed code.
@@ -196,24 +227,28 @@ fn compile_inner(
             weights: opts.weight_config(),
             speculation: true,
         };
-        stats.trace = trace_schedule(p.main_mut(), &profile, &topts);
-        stats.dce_removed += dead_code_elim(p.main_mut());
+        traced_pass("trace_schedule", &mut p, |p| {
+            stats.trace = trace_schedule(p.main_mut(), &profile, &topts);
+            stats.dce_removed += dead_code_elim(p.main_mut());
+        });
         bsched_ir::verify_program(&p)?;
     }
 
     // 6. Basic-block scheduling.
-    if audited {
-        *sink = Some(schedule_function_audited(
-            p.main_mut(),
-            &opts.weight_config(),
-            opts.tie_break,
-        ));
-    } else {
-        schedule_function_with(p.main_mut(), &opts.weight_config(), opts.tie_break);
-    }
+    traced_pass("schedule", &mut p, |p| {
+        if audited {
+            *sink = Some(schedule_function_audited(
+                p.main_mut(),
+                &opts.weight_config(),
+                opts.tie_break,
+            ));
+        } else {
+            schedule_function_with(p.main_mut(), &opts.weight_config(), opts.tie_break);
+        }
+    });
 
     // 7. Register allocation.
-    stats.alloc = allocate(&mut p);
+    stats.alloc = traced_pass("regalloc", &mut p, allocate);
     bsched_ir::verify_program(&p)?;
     stats.static_insts = p.main().inst_count();
 
@@ -224,6 +259,7 @@ fn compile_inner(
             stage: "full pipeline",
         });
     }
+    compile_span.finish(&[("after", stats.static_insts as u64)]);
     Ok(Compiled { program: p, stats })
 }
 

@@ -182,6 +182,7 @@ pub struct ExperimentBuilder {
     selective: Option<bool>,
     reference_weights: bool,
     options_override: Option<CompileOptions>,
+    trace: bool,
 }
 
 /// `ConfigKind` with a `Default`, private to the builder.
@@ -294,6 +295,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables `bsched-trace` observability for this session's
+    /// [`run`](Session::run) / [`compile`](Session::compile) calls:
+    /// per-pass spans, scheduler region stats, and per-load interlock
+    /// attribution, collectible with `bsched_trace::drain`.
+    ///
+    /// Observability only — results are byte-identical either way, and
+    /// the flag is deliberately *not* part of [`CompileOptions`], so
+    /// harness cache keys are unaffected. (Trace *scheduling*, the
+    /// compiler optimization, is selected through [`opts`](Self::opts)
+    /// instead.)
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Validates the configuration and freezes it into a [`Session`].
     ///
     /// # Errors
@@ -340,6 +357,7 @@ impl ExperimentBuilder {
             name,
             program,
             options,
+            trace: self.trace,
         })
     }
 }
@@ -351,6 +369,7 @@ pub struct Session {
     name: String,
     program: Program,
     options: CompileOptions,
+    trace: bool,
 }
 
 impl Session {
@@ -378,6 +397,18 @@ impl Session {
         self.options.label()
     }
 
+    /// Whether this session enables `bsched-trace` observability (see
+    /// [`ExperimentBuilder::trace`]).
+    #[must_use]
+    pub fn traced(&self) -> bool {
+        self.trace
+    }
+
+    /// An enable guard when this session is traced, `None` otherwise.
+    fn trace_scope(&self) -> Option<bsched_trace::EnableGuard> {
+        self.trace.then(bsched_trace::enable_scope)
+    }
+
     /// Compiles and simulates, cross-checking the simulator's memory
     /// against the reference interpreter.
     ///
@@ -385,6 +416,7 @@ impl Session {
     ///
     /// Propagates [`PipelineError`]s from compilation and simulation.
     pub fn run(&self) -> Result<RunResult, PipelineError> {
+        let _trace = self.trace_scope();
         run_impl(&self.program, &self.options)
     }
 
@@ -395,6 +427,7 @@ impl Session {
     ///
     /// Propagates [`PipelineError`]s from compilation.
     pub fn compile(&self) -> Result<Compiled, PipelineError> {
+        let _trace = self.trace_scope();
         compile_impl(&self.program, &self.options)
     }
 
@@ -408,6 +441,7 @@ impl Session {
     ///
     /// Propagates [`PipelineError`]s from compilation.
     pub fn compile_audited(&self) -> Result<(Compiled, bsched_core::ScheduleAudit), PipelineError> {
+        let _trace = self.trace_scope();
         crate::compile::compile_audited_impl(&self.program, &self.options)
     }
 }
@@ -489,6 +523,20 @@ mod tests {
         assert!(run.metrics.cycles > 0);
         let compiled = s.compile().unwrap();
         assert!(compiled.program.main().inst_count() > 0);
+    }
+
+    #[test]
+    fn trace_axis_is_observability_only() {
+        let traced = Experiment::builder().kernel("TRFD").trace(true).build().unwrap();
+        assert!(traced.traced());
+        let plain = Experiment::builder().kernel("TRFD").build().unwrap();
+        assert!(!plain.traced());
+        // Tracing is not a compile axis: the resolved options (and hence
+        // every harness cache key) are identical either way.
+        assert_eq!(
+            format!("{:?}", traced.options()),
+            format!("{:?}", plain.options())
+        );
     }
 
     #[test]

@@ -19,15 +19,19 @@ pub struct SimResult {
     pub checksum: u64,
 }
 
-/// Per-register scoreboard: when each register's value becomes available
-/// and whether its most recent producer was a load (for interlock
-/// attribution).
+/// Sentinel "not produced by a load" site id.
+const NO_SITE: u32 = u32::MAX;
+
+/// Per-register scoreboard: when each register's value becomes
+/// available, and — for interlock attribution — the static code site
+/// (`(pc - CODE_BASE) / 4`) of its most recent producing load, or
+/// [`NO_SITE`] for non-load producers.
 #[derive(Debug)]
 struct Scoreboard {
     ready_int: Vec<u64>,
     ready_float: Vec<u64>,
-    from_load_int: Vec<bool>,
-    from_load_float: Vec<bool>,
+    load_site_int: Vec<u32>,
+    load_site_float: Vec<u32>,
 }
 
 impl Scoreboard {
@@ -38,31 +42,50 @@ impl Scoreboard {
         Scoreboard {
             ready_int: vec![0; ni],
             ready_float: vec![0; nf],
-            from_load_int: vec![false; ni],
-            from_load_float: vec![false; nf],
+            load_site_int: vec![NO_SITE; ni],
+            load_site_float: vec![NO_SITE; nf],
         }
     }
 
-    fn ready(&self, r: bsched_ir::Reg) -> (u64, bool) {
+    fn ready(&self, r: bsched_ir::Reg) -> (u64, u32) {
         let s = RegFile::slot(r);
         match r.class() {
-            bsched_ir::RegClass::Int => (self.ready_int[s], self.from_load_int[s]),
-            bsched_ir::RegClass::Float => (self.ready_float[s], self.from_load_float[s]),
+            bsched_ir::RegClass::Int => (self.ready_int[s], self.load_site_int[s]),
+            bsched_ir::RegClass::Float => (self.ready_float[s], self.load_site_float[s]),
         }
     }
 
-    fn set(&mut self, r: bsched_ir::Reg, at: u64, from_load: bool) {
+    fn set(&mut self, r: bsched_ir::Reg, at: u64, load_site: u32) {
         let s = RegFile::slot(r);
         match r.class() {
             bsched_ir::RegClass::Int => {
                 self.ready_int[s] = at;
-                self.from_load_int[s] = from_load;
+                self.load_site_int[s] = load_site;
             }
             bsched_ir::RegClass::Float => {
                 self.ready_float[s] = at;
-                self.from_load_float[s] = from_load;
+                self.load_site_float[s] = load_site;
             }
         }
+    }
+}
+
+/// Tracing-only per-static-load-site attribution, allocated only when
+/// `bsched_trace::enabled()`. The interlock and MSHR columns are
+/// incremented at exactly the three points that bump the aggregate
+/// `load_interlock` counter, so their sum reproduces it exactly — the
+/// conservation property the test suite pins.
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteStat {
+    issued: u64,
+    interlock: u64,
+    mshr: u64,
+    hits: [u64; 4], // L1, L2, L3, memory
+}
+
+impl SiteStat {
+    fn any(&self) -> bool {
+        self.issued > 0 || self.interlock > 0 || self.mshr > 0
     }
 }
 
@@ -108,6 +131,19 @@ impl<'p> Simulator<'p> {
             block_addr.push(pc);
             pc += 4 * (b.len() as u64 + 1);
         }
+
+        // Load-interlock attribution (tracing only): one row per static
+        // code slot, flushed as `sim.load_site` events at `Ret`.
+        let tracing = bsched_trace::enabled();
+        let mut sites: Vec<SiteStat> = if tracing {
+            vec![SiteStat::default(); ((pc - CODE_BASE) / 4) as usize]
+        } else {
+            Vec::new()
+        };
+        let mut run_span = Some(
+            bsched_trace::span(bsched_trace::points::SIM_RUN)
+                .label_with(|| self.program.name().to_string()),
+        );
 
         let mut now: u64 = 0;
         let mut executed: u64 = 0;
@@ -156,18 +192,21 @@ impl<'p> Simulator<'p> {
                 }
                 // 2b. Operand interlock.
                 let mut op_ready = now;
-                let mut blame_load = false;
+                let mut blame_site = NO_SITE;
                 for &s in inst.srcs() {
-                    let (t, from_load) = board.ready(s);
-                    if t > op_ready || (t == op_ready && from_load && t > now) {
+                    let (t, site) = board.ready(s);
+                    if t > op_ready || (t == op_ready && site != NO_SITE && t > now) {
                         op_ready = t;
-                        blame_load = from_load;
+                        blame_site = site;
                     }
                 }
                 if op_ready > now {
                     let stall = op_ready - now;
-                    if blame_load {
+                    if blame_site != NO_SITE {
                         m.load_interlock += stall;
+                        if tracing {
+                            sites[blame_site as usize].interlock += stall;
+                        }
                     } else {
                         m.fixed_interlock += stall;
                     }
@@ -179,6 +218,7 @@ impl<'p> Simulator<'p> {
                 m.insts.record(inst);
                 match inst.op {
                     Op::Ld => {
+                        let site = ((base_pc - CODE_BASE) / 4) as u32 + k as u32;
                         let base = regs.get(inst.mem_base()).as_int();
                         let addr = base.wrapping_add(inst.mem_disp()) as u64;
                         let stall_before = hier.stats().mshr_stall_cycles;
@@ -187,6 +227,12 @@ impl<'p> Simulator<'p> {
                         let issue_delay = a.issue_at - now;
                         m.load_interlock += mshr_stall;
                         m.tlb_stall += issue_delay - mshr_stall;
+                        if tracing {
+                            let st = &mut sites[site as usize];
+                            st.issued += 1;
+                            st.mshr += mshr_stall;
+                            st.hits[a.level as usize] += 1;
+                        }
                         if a.issue_at > now {
                             now = a.issue_at;
                             slot = 0;
@@ -194,7 +240,7 @@ impl<'p> Simulator<'p> {
                         }
                         let dst = inst.dst.expect("load has a destination");
                         regs.set(dst, Value::from_bits(dst.class(), mem.load(addr)));
-                        board.set(dst, a.ready_at, true);
+                        board.set(dst, a.ready_at, site);
                     }
                     Op::St => {
                         let base = regs.get(inst.mem_base()).as_int();
@@ -218,7 +264,7 @@ impl<'p> Simulator<'p> {
                             .expect("ldaddr has a region");
                         let dst = inst.dst.expect("ldaddr has a destination");
                         regs.set(dst, Value::Int(bases[region.index() as usize] as i64));
-                        board.set(dst, now + u64::from(fixed_latency(inst.op)), false);
+                        board.set(dst, now + u64::from(fixed_latency(inst.op)), NO_SITE);
                     }
                     _ => {
                         let mut vals = [Value::Int(0); 3];
@@ -233,7 +279,7 @@ impl<'p> Simulator<'p> {
                         );
                         let dst = inst.dst.expect("pure op has a destination");
                         regs.set(dst, v);
-                        board.set(dst, now + u64::from(fixed_latency(inst.op)), false);
+                        board.set(dst, now + u64::from(fixed_latency(inst.op)), NO_SITE);
                     }
                 }
                 // 4. The instruction occupies one slot of the group.
@@ -268,11 +314,14 @@ impl<'p> Simulator<'p> {
                     taken,
                     fall,
                 } => {
-                    let (t, from_load) = board.ready(*cond);
+                    let (t, site) = board.ready(*cond);
                     if t > now {
                         let stall = t - now;
-                        if from_load {
+                        if site != NO_SITE {
                             m.load_interlock += stall;
+                            if tracing {
+                                sites[site as usize].interlock += stall;
+                            }
                         } else {
                             m.fixed_interlock += stall;
                         }
@@ -297,6 +346,15 @@ impl<'p> Simulator<'p> {
                 Terminator::Ret => {
                     m.cycles = now;
                     m.mem = *hier.stats();
+                    if tracing {
+                        self.flush_site_events(&sites, &block_addr, CODE_BASE);
+                        if let Some(span) = run_span.take() {
+                            span.finish(&[
+                                ("cycles", m.cycles),
+                                ("load_interlock", m.load_interlock),
+                            ]);
+                        }
+                    }
                     return Ok(SimResult {
                         metrics: m,
                         checksum: mem.checksum(),
@@ -304,6 +362,35 @@ impl<'p> Simulator<'p> {
                 }
             };
             cur = next;
+        }
+    }
+
+    /// Emits one `sim.load_site` event per static site with any load
+    /// activity: where it lives (block), how often it issued, which
+    /// memory levels answered, and how many load-interlock cycles it
+    /// was blamed for (operand interlocks + MSHR stalls).
+    fn flush_site_events(&self, sites: &[SiteStat], block_addr: &[u64], code_base: u64) {
+        for (site, st) in sites.iter().enumerate() {
+            if !st.any() {
+                continue;
+            }
+            let addr = code_base + 4 * site as u64;
+            let block = block_addr.partition_point(|&b| b <= addr).saturating_sub(1);
+            bsched_trace::instant(
+                bsched_trace::points::SIM_LOAD_SITE,
+                self.program.name(),
+                &[
+                    ("site", site as u64),
+                    ("block", block as u64),
+                    ("issued", st.issued),
+                    ("interlock", st.interlock),
+                    ("mshr_stall", st.mshr),
+                    ("l1", st.hits[0]),
+                    ("l2", st.hits[1]),
+                    ("l3", st.hits[2]),
+                    ("mem", st.hits[3]),
+                ],
+            );
         }
     }
 }

@@ -104,6 +104,18 @@ pub fn verify_cell(
             .iter()
             .map(ToString::to_string),
     );
+    // Violations carry trace context: one event per message, so a
+    // `--trace-json` export pairs every failure with the pass spans and
+    // load-site attribution recorded around it.
+    if bsched_trace::enabled() {
+        for v in &violations {
+            bsched_trace::instant(
+                bsched_trace::points::VERIFY_VIOLATION,
+                v,
+                &[("regions", regions as u64)],
+            );
+        }
+    }
     CellVerification {
         regions,
         violations,

@@ -50,6 +50,7 @@ pub use bsched_opt as opt;
 pub use bsched_pipeline as pipeline;
 pub use bsched_regalloc as regalloc;
 pub use bsched_sim as sim;
+pub use bsched_trace as trace;
 pub use bsched_workloads as workloads;
 
 pub use bsched_pipeline::{
