@@ -78,6 +78,64 @@ fn missing_trace_path_values_are_rejected() {
 }
 
 #[test]
+fn invalid_bsched_jobs_fails_loudly_instead_of_degrading() {
+    for bad in ["32x", "abc", "0", "-3", ""] {
+        let out = all_experiments()
+            .args(["--kernels", "TRFD"])
+            .env("BSCHED_JOBS", bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "BSCHED_JOBS={bad:?} must exit 2, not fall back silently"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid BSCHED_JOBS"), "{bad:?}: {err}");
+        assert!(
+            err.contains("positive integer"),
+            "{bad:?} must say what a valid value is: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{bad:?} must not start the grid");
+    }
+    // A valid value still works end to end.
+    let out = all_experiments()
+        .args(["--kernels", "TRFD"])
+        .env("BSCHED_JOBS", "2")
+        .env("BSCHED_NO_CACHE", "1")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "BSCHED_JOBS=2 must run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn empty_bsched_cache_dir_fails_loudly_instead_of_caching_nowhere() {
+    for bad in ["", "   "] {
+        let out = all_experiments()
+            .args(["--kernels", "TRFD"])
+            .env("BSCHED_CACHE_DIR", bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "BSCHED_CACHE_DIR={bad:?} must exit 2, not fall back silently"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid BSCHED_CACHE_DIR"), "{bad:?}: {err}");
+        assert!(
+            err.contains("unset the variable"),
+            "{bad:?} must tell the user the remedy: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{bad:?} must not start the grid");
+    }
+}
+
+#[test]
 fn trace_summary_composes_with_verify_and_kernels() {
     let out = all_experiments()
         .args(["--kernels", "TRFD", "--verify", "--trace-summary"])

@@ -107,7 +107,12 @@ impl DiskCache {
     }
 }
 
-fn encode_metrics(m: &SimMetrics) -> Json {
+/// Encodes simulator metrics as the flat JSON document both the disk
+/// cache and the `bsched-serve` wire protocol use — one codec, so a
+/// served result and a cached result are byte-identical by
+/// construction.
+#[must_use]
+pub fn encode_metrics(m: &SimMetrics) -> Json {
     Json::obj(vec![
         ("cycles", Json::u64(m.cycles)),
         ("load_interlock", Json::u64(m.load_interlock)),
@@ -151,7 +156,10 @@ fn encode_mem(s: &MemStats) -> Json {
     ])
 }
 
-fn decode_metrics(doc: &Json) -> Option<SimMetrics> {
+/// Decodes a document produced by [`encode_metrics`]. `None` on any
+/// missing or mistyped field.
+#[must_use]
+pub fn decode_metrics(doc: &Json) -> Option<SimMetrics> {
     let u = |key: &str| doc.get(key).and_then(Json::as_u64);
     let insts_doc = doc.get("insts")?;
     let iu = |key: &str| insts_doc.get(key).and_then(Json::as_u64);

@@ -99,13 +99,41 @@ impl EngineConfig {
     ///   `results/cache`),
     /// * `BSCHED_VERIFY=1` — run the conformance suite on every
     ///   executed cell.
+    ///
+    /// Invalid values exit the process with code 2 and a clear message
+    /// rather than degrading silently — a typo'd `BSCHED_JOBS=32x` on a
+    /// long grid run must fail loudly, not crawl along single-threaded.
+    /// Library callers who need to handle the error themselves use
+    /// [`EngineConfig::try_from_env`].
     #[must_use]
     pub fn from_env() -> Self {
+        match EngineConfig::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("bsched-harness: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`EngineConfig::from_env`] without the exit: invalid settings
+    /// come back as an error message naming the variable and the
+    /// offending value.
+    ///
+    /// # Errors
+    ///
+    /// `BSCHED_JOBS` that is not a positive integer, or an empty
+    /// `BSCHED_CACHE_DIR`.
+    pub fn try_from_env() -> Result<Self, String> {
         let mut cfg = EngineConfig::default();
         if let Ok(v) = std::env::var("BSCHED_JOBS") {
             match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => cfg.jobs = n,
-                _ => eprintln!("bsched-harness: ignoring invalid BSCHED_JOBS={v:?}"),
+                _ => {
+                    return Err(format!(
+                        "invalid BSCHED_JOBS={v:?}: expected a positive integer worker count"
+                    ))
+                }
             }
         }
         if let Ok(v) = std::env::var("BSCHED_NO_CACHE") {
@@ -114,16 +142,21 @@ impl EngineConfig {
             }
         }
         if let Ok(v) = std::env::var("BSCHED_CACHE_DIR") {
-            if !v.is_empty() {
-                cfg.cache_dir = PathBuf::from(v);
+            if v.trim().is_empty() {
+                return Err(
+                    "invalid BSCHED_CACHE_DIR=\"\": expected a cache directory path \
+                     (unset the variable to use the default results/cache)"
+                        .to_string(),
+                );
             }
+            cfg.cache_dir = PathBuf::from(v);
         }
         if let Ok(v) = std::env::var("BSCHED_VERIFY") {
             if v == "1" || v.eq_ignore_ascii_case("true") {
                 cfg.verify = true;
             }
         }
-        cfg
+        Ok(cfg)
     }
 
     /// Overrides the worker count.
@@ -217,6 +250,19 @@ impl Engine {
         self.config.jobs
     }
 
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The in-memory memo layer (sharded; see [`crate::store`]).
+    /// `bsched-serve` reads its hit/miss counters for warm-cache stats.
+    #[must_use]
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
     /// Kernel names, in workload order.
     #[must_use]
     pub fn kernel_names(&self) -> Vec<String> {
@@ -233,6 +279,17 @@ impl Engine {
     /// measurement). The first failing cell in request order is
     /// reported.
     pub fn run(&self, cells: &[ExperimentCell]) -> Result<(), HarnessError> {
+        self.run_where(cells, self.config.verify)
+    }
+
+    /// [`Engine::run`] with an explicit per-batch verification switch,
+    /// overriding [`EngineConfig::verify`]. `bsched-serve` uses this to
+    /// honour a per-request `verify` flag against one shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run`].
+    pub fn run_where(&self, cells: &[ExperimentCell], verify: bool) -> Result<(), HarnessError> {
         // Deduplicate within the batch, preserving request order.
         let mut unique: Vec<&ExperimentCell> = Vec::with_capacity(cells.len());
         {
@@ -252,7 +309,7 @@ impl Engine {
         let mut memory_hits = 0u64;
         let mut disk_hits = 0u64;
         let mut verified = 0u64;
-        let usable = |r: &CellResult| !self.config.verify || r.verified;
+        let usable = |r: &CellResult| !verify || r.verified;
         for &cell in &unique {
             let hit = if let Some(r) = self.store.get(cell) {
                 usable(&r) && {
@@ -269,7 +326,7 @@ impl Engine {
                 false
             };
             if hit {
-                if self.config.verify {
+                if verify {
                     verified += 1;
                 }
                 continue;
@@ -288,7 +345,7 @@ impl Engine {
                 let t0 = Instant::now();
                 let span = bsched_trace::span(bsched_trace::points::HARNESS_CELL)
                     .label_with(|| cell.to_string());
-                let outcome = self.execute(cell);
+                let outcome = self.execute(cell, verify);
                 span.finish(&[]);
                 // Workers flush per cell so a drain on the coordinating
                 // thread sees every event even while the pool is alive.
@@ -381,7 +438,7 @@ impl Engine {
         self.report.lock().expect("report poisoned").fuzz_iterations += iterations;
     }
 
-    fn execute(&self, cell: &ExperimentCell) -> Result<CellResult, HarnessError> {
+    fn execute(&self, cell: &ExperimentCell, verify: bool) -> Result<CellResult, HarnessError> {
         let idx = self.index[cell.kernel()];
         let program = &self.kernels[idx].1;
         let session = Experiment::builder()
@@ -402,7 +459,7 @@ impl Engine {
                 msg: "simulator diverged from the reference interpreter".to_string(),
             });
         }
-        let verified = if self.config.verify {
+        let verified = if verify {
             let v = bsched_verify::verify_cell(program, cell.options(), &run.metrics);
             if !v.is_clean() {
                 let mut r = self.report.lock().expect("report poisoned");

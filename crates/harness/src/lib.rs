@@ -65,5 +65,7 @@ pub mod report;
 pub mod store;
 
 pub use cell::{ExperimentCell, CACHE_SCHEMA_VERSION};
+pub use disk::{decode_metrics, encode_metrics};
 pub use engine::{CellResult, Engine, EngineConfig, HarnessError};
 pub use report::{emit_stderr, RunReport};
+pub use store::ResultStore;

@@ -1,14 +1,52 @@
-//! The in-memory result store: one process-wide memo of executed cells.
+//! The in-memory result store: one process-wide memo of executed cells,
+//! sharded for concurrent access.
+//!
+//! The original store was a single `Mutex<HashMap>` — fine when one
+//! `Engine::run` batch owns it, hostile when `bsched-serve` points many
+//! connection handlers and a batch dispatcher at the same warm cache.
+//! This version spreads keys across [`SHARDS`] independent
+//! `RwLock<HashMap>` shards, selected by the FNV-1a hash the cell
+//! already carries ([`ExperimentCell::content_hash`]), so:
+//!
+//! * **hits take a read lock only** — any number of threads can answer
+//!   warm lookups on the same shard simultaneously, and lookups on
+//!   different shards never touch the same lock at all (std has no
+//!   safe lock-free map, so a shared read lock is the honest fast
+//!   path);
+//! * **writes contend per shard**, not per store — concurrent batch
+//!   completions serialize only when two cells land in the same 1/64th
+//!   of the key space.
+//!
+//! Hit/miss counters are relaxed atomics so the serving layer can report
+//! warm-cache effectiveness without taking any lock.
 
 use crate::cell::ExperimentCell;
 use crate::engine::CellResult;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
-/// A thread-safe map from canonical cell key to result.
-#[derive(Debug, Default)]
+/// Number of independent shards. A power of two so the shard index is a
+/// mask of the cell's content hash; 64 keeps worst-case contention at
+/// 1/64th of a single-lock store while costing ~4 KiB of empty maps.
+pub const SHARDS: usize = 64;
+
+/// A thread-safe, sharded map from canonical cell key to result.
+#[derive(Debug)]
 pub struct ResultStore {
-    inner: Mutex<HashMap<String, CellResult>>,
+    shards: Vec<RwLock<HashMap<String, CellResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ResultStore {
+    fn default() -> Self {
+        ResultStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ResultStore {
@@ -18,38 +56,51 @@ impl ResultStore {
         ResultStore::default()
     }
 
-    /// Looks up a cell.
-    #[must_use]
-    pub fn get(&self, cell: &ExperimentCell) -> Option<CellResult> {
-        self.inner
-            .lock()
-            .expect("store poisoned")
-            .get(cell.canonical_key())
-            .cloned()
+    fn shard(&self, cell: &ExperimentCell) -> &RwLock<HashMap<String, CellResult>> {
+        &self.shards[(cell.content_hash() as usize) & (SHARDS - 1)]
     }
 
-    /// Whether the cell is present.
+    /// Looks up a cell (read lock on one shard only).
+    #[must_use]
+    pub fn get(&self, cell: &ExperimentCell) -> Option<CellResult> {
+        let found = self
+            .shard(cell)
+            .read()
+            .expect("store shard poisoned")
+            .get(cell.canonical_key())
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Whether the cell is present (does not touch the hit counters).
     #[must_use]
     pub fn contains(&self, cell: &ExperimentCell) -> bool {
-        self.inner
-            .lock()
-            .expect("store poisoned")
+        self.shard(cell)
+            .read()
+            .expect("store shard poisoned")
             .contains_key(cell.canonical_key())
     }
 
     /// Inserts (or overwrites — results are deterministic, so a race
     /// between equal cells is harmless) a result.
     pub fn insert(&self, cell: &ExperimentCell, result: CellResult) {
-        self.inner
-            .lock()
-            .expect("store poisoned")
+        self.shard(cell)
+            .write()
+            .expect("store shard poisoned")
             .insert(cell.canonical_key().to_string(), result);
     }
 
-    /// Number of memoized cells.
+    /// Number of memoized cells (sums read locks over all shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("store poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store shard poisoned").len())
+            .sum()
     }
 
     /// Whether the store is empty.
@@ -58,9 +109,100 @@ impl ResultStore {
         self.len() == 0
     }
 
+    /// Lookups answered from memory since construction.
+    #[must_use]
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed since construction.
+    #[must_use]
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
     /// Drops every memoized result (the cache round-trip tests use this
-    /// to force re-loading from disk).
+    /// to force re-loading from disk). Counters are kept: they describe
+    /// traffic, not contents.
     pub fn clear(&self) {
-        self.inner.lock().expect("store poisoned").clear();
+        for shard in &self.shards {
+            shard.write().expect("store shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_pipeline::{CompileOptions, SchedulerKind};
+    use bsched_sim::SimMetrics;
+
+    fn cell(kernel: &str, unroll: Option<u32>) -> ExperimentCell {
+        let mut o = CompileOptions::new(SchedulerKind::Balanced);
+        o.unroll = unroll;
+        ExperimentCell::new(kernel, o)
+    }
+
+    fn result(cycles: u64) -> CellResult {
+        CellResult {
+            metrics: SimMetrics {
+                cycles,
+                ..SimMetrics::default()
+            },
+            checksum_ok: true,
+            verified: false,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let store = ResultStore::new();
+        let a = cell("a", None);
+        assert!(store.get(&a).is_none());
+        store.insert(&a, result(7));
+        assert_eq!(store.get(&a).unwrap().metrics.cycles, 7);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hit_count(), 1);
+        assert_eq!(store.miss_count(), 1);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        // 200 distinct cells must not all land in one shard — that would
+        // mean the shard selector ignores the hash.
+        let store = ResultStore::new();
+        for i in 0..200 {
+            store.insert(&cell(&format!("k{i}"), Some(i % 8 + 1)), result(u64::from(i)));
+        }
+        assert_eq!(store.len(), 200);
+        let populated = store
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().is_empty())
+            .count();
+        assert!(populated > SHARDS / 2, "only {populated} shards used");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree() {
+        let store = std::sync::Arc::new(ResultStore::new());
+        let cells: Vec<ExperimentCell> = (0..64).map(|i| cell(&format!("c{i}"), None)).collect();
+        std::thread::scope(|scope| {
+            for chunk in cells.chunks(16) {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    for (i, c) in chunk.iter().enumerate() {
+                        store.insert(c, result(i as u64));
+                        assert!(store.get(c).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 64);
+        for c in &cells {
+            assert!(store.contains(c));
+        }
     }
 }

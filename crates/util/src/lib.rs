@@ -8,15 +8,19 @@
 //!   array initialisation and the randomized property tests,
 //! * [`fnv`] — FNV-1a 64-bit hashing for content-addressed cache keys,
 //! * [`json`] — a minimal JSON reader/writer (objects, arrays, strings,
-//!   integers, floats, bools, null) for the on-disk result cache.
+//!   integers, floats, bools, null) for the on-disk result cache,
+//! * [`frame`] — length-prefixed JSON framing for the `bsched-serve`
+//!   wire protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fnv;
+pub mod frame;
 pub mod json;
 pub mod rng;
 
 pub use fnv::Fnv1a;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use json::Json;
 pub use rng::Prng;

@@ -94,4 +94,50 @@ grep -q "bsched-trace summary" "$SMOKE_CACHE/trace.err" \
 [ -s "$SMOKE_CACHE/trace.json" ] || { echo "FAIL: no trace.json"; exit 1; }
 [ -s "$SMOKE_CACHE/trace.chrome.json" ] || { echo "FAIL: no chrome trace"; exit 1; }
 
+echo "== smoke: bsched-serve over a unix socket =="
+# A resident server on a cold cache. Three concurrent clients submit the
+# identical 2-kernel grid: in-flight dedup plus the shared sharded store
+# must compute each of the 30 cells exactly once. Then a verified grid
+# through the server must be byte-identical to the direct
+# all_experiments output, and a wire-level shutdown must drain
+# gracefully (exit 0).
+SERVE_SOCK="$SMOKE_CACHE/serve.sock"
+SERVE_CACHE="$SMOKE_CACHE/serve-cache"
+BSCHED_CACHE_DIR="$SERVE_CACHE" ./target/release/bsched-serve \
+    --unix "$SERVE_SOCK" --jobs 2 2>"$SMOKE_CACHE/serve.err" &
+SERVE_PID=$!
+tries=0
+while [ ! -S "$SERVE_SOCK" ] && [ "$tries" -lt 100 ]; do
+    sleep 0.1; tries=$((tries + 1))
+done
+[ -S "$SERVE_SOCK" ] || { cat "$SMOKE_CACHE/serve.err"; echo "FAIL: server did not come up"; exit 1; }
+./target/release/bsched-client --connect "unix:$SERVE_SOCK" ping \
+    || { echo "FAIL: serve ping"; exit 1; }
+for n in 1 2 3; do
+    ./target/release/bsched-client --connect "unix:$SERVE_SOCK" \
+        grid --kernels ARC2D,TRFD >"$SMOKE_CACHE/served.$n" 2>/dev/null &
+    eval "CLIENT_$n=\$!"
+done
+wait "$CLIENT_1" "$CLIENT_2" "$CLIENT_3" \
+    || { echo "FAIL: concurrent serve clients"; exit 1; }
+for n in 1 2 3; do
+    [ "$(cat "$SMOKE_CACHE/served.$n")" = "$cold" ] \
+        || { echo "FAIL: served grid $n differs from direct output"; exit 1; }
+done
+./target/release/bsched-client --connect "unix:$SERVE_SOCK" stats \
+    >"$SMOKE_CACHE/serve.stats" 2>/dev/null
+grep -q "engine executed  30$" "$SMOKE_CACHE/serve.stats" \
+    || { cat "$SMOKE_CACHE/serve.stats"; \
+         echo "FAIL: 3 clients x 30 cells must execute exactly 30"; exit 1; }
+served_verified="$(./target/release/bsched-client --connect "unix:$SERVE_SOCK" \
+    grid --kernels ARC2D,TRFD --verify 2>/dev/null)" \
+    || { echo "FAIL: verified served grid"; exit 1; }
+[ "$served_verified" = "$cold" ] \
+    || { echo "FAIL: verified served grid differs from direct output"; exit 1; }
+./target/release/bsched-client --connect "unix:$SERVE_SOCK" shutdown 2>/dev/null \
+    || { echo "FAIL: serve shutdown request"; exit 1; }
+wait "$SERVE_PID" || { cat "$SMOKE_CACHE/serve.err"; echo "FAIL: server exit status"; exit 1; }
+grep -q "shutdown complete" "$SMOKE_CACHE/serve.err" \
+    || { cat "$SMOKE_CACHE/serve.err"; echo "FAIL: no graceful drain"; exit 1; }
+
 echo "CI OK"
