@@ -1,33 +1,366 @@
-//! Raw timing-simulator throughput (simulated instructions per host
-//! second) on a compiled kernel.
+//! Timing-simulator throughput: the **interpreting** engine against the
+//! **block-compiled** engine on the same compiled programs.
+//!
+//! Per-kernel cases time representative (kernel, options) cells through
+//! both engines with the calibrated microbench harness. `--grid` adds
+//! the headline case: full simulation passes over the complete
+//! `all_experiments` grid (17 kernels × 15 configurations = 255 cells,
+//! compile excluded) per engine — the number the ≥10× target is about.
+//! Engine bit-identity (metrics and checksum) is asserted on every cell
+//! measured, so the bench doubles as an equivalence check.
+//!
+//! The grid case also times a **functional floor**: pure functional
+//! execution (`bsched_ir::interp::Interp`) of every cell with no timing
+//! model at all. Both engines contain that work verbatim — it is the
+//! irreducible cost of *running* the programs — so the simulator
+//! speedup proper is the ratio of what each engine adds on top:
+//!
+//! ```text
+//! timing-engine speedup = (T_interp − T_func) / (T_block − T_func)
+//! ```
+//!
+//! the same overhead-over-emulation metric DBT-based timing simulators
+//! report (see DESIGN.md §12). The raw wall-clock times and the plain
+//! end-to-end ratio are recorded alongside it. Grid passes interleave
+//! interpret → block → functional within each repetition and the ratios
+//! use per-arm minima, so a burst of host contention inflates all three
+//! arms of one repetition instead of poisoning a single engine's
+//! numbers.
+//!
+//! Flags (same contract as `benches/weights.rs`):
+//!
+//! * `--grid` — also measure the full-grid passes (slow; used to
+//!   produce the committed `BENCH_pr7.json`);
+//! * `--json PATH` — write the measurements as JSON;
+//! * `--check BASELINE` — compare per-case interp:block speedups
+//!   against a recorded JSON and exit 1 on regression (ratios, not wall
+//!   times, so the check is machine-independent; min-based when the
+//!   baseline records `speedup_min`);
+//! * `--check-ratio R` — floor for `--check` as a fraction of the
+//!   recorded speedup (default `0.9`; `scripts/ci.sh` passes a generous
+//!   machine-independent floor — the gate catches the block engine
+//!   silently degenerating toward 1×, not scheduler jitter).
 
-use bsched_bench::microbench::{bench, fmt_duration};
-use bsched_pipeline::{Experiment, SchedulerKind};
-use bsched_sim::{SimConfig, Simulator};
+use bsched_bench::microbench::bench;
+use bsched_pipeline::{standard_grid, CompileOptions, Experiment, SchedulerKind};
+use bsched_sim::{SimConfig, SimEngine, SimResult, Simulator};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-fn main() {
+/// One compiled cell (or cell sweep) measured under both engines.
+struct Case {
+    name: String,
+    insts: u64,
+    loads: u64,
+    interp_ns: u128,
+    block_ns: u128,
+    interp_min_ns: u128,
+    block_min_ns: u128,
+    /// Functional-floor pass times (grid case only).
+    func_ns: Option<u128>,
+    func_min_ns: Option<u128>,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.interp_ns as f64 / self.block_ns.max(1) as f64
+    }
+
+    /// Speedup from the fastest observed times — far less sensitive to
+    /// scheduling noise than medians (interference only adds time).
+    fn speedup_min(&self) -> f64 {
+        self.interp_min_ns as f64 / self.block_min_ns.max(1) as f64
+    }
+
+    /// Timing-engine speedup over the functional floor (min-based):
+    /// `(interp − func) / (block − func)`.
+    fn overhead_speedup_min(&self) -> Option<f64> {
+        let func = self.func_min_ns?;
+        let interp = self.interp_min_ns.saturating_sub(func);
+        let block = self.block_min_ns.saturating_sub(func).max(1);
+        Some(interp as f64 / block as f64)
+    }
+}
+
+fn compile_cell(kernel: &str, options: CompileOptions) -> (bsched_ir::Program, SimConfig) {
     let compiled = Experiment::builder()
-        .kernel("su2cor")
-        .scheduler(SchedulerKind::Balanced)
+        .kernel(kernel)
+        .compile_options(options)
         .build()
         .expect("kernel exists")
         .compile()
         .expect("compiles");
-    let sim0 = Simulator::new(&compiled.program, SimConfig::default())
-        .run()
-        .expect("runs");
-    let insts = sim0.metrics.insts.total();
+    (compiled.program, options.sim)
+}
 
-    println!("simulator ({insts} simulated instructions per run):");
-    let m = bench("simulator/su2cor_balanced", || {
-        Simulator::new(&compiled.program, SimConfig::default())
-            .run()
-            .unwrap()
-    });
-    let per_inst = m.median / u32::try_from(insts.max(1)).unwrap_or(u32::MAX);
+fn run(program: &bsched_ir::Program, sim: SimConfig, engine: SimEngine) -> SimResult {
+    Simulator::with_config(program, sim)
+        .with_engine(engine)
+        .run()
+        .expect("simulates")
+}
+
+fn print_case(case: &Case) {
     println!(
-        "  throughput: {:.1} Minst/s ({} per instruction)",
-        insts as f64 / m.median.as_secs_f64() / 1e6,
-        fmt_duration(per_inst)
+        "  {:<28} speedup {:>6.1}x  ({} insts, {} loads)",
+        case.name,
+        case.speedup(),
+        case.insts,
+        case.loads
     );
+}
+
+fn measure_cell(name: &str, program: &bsched_ir::Program, sim: SimConfig) -> Case {
+    let interp_result = run(program, sim, SimEngine::Interpret);
+    let block_result = run(program, sim, SimEngine::BlockCompiled);
+    assert_eq!(
+        interp_result.metrics, block_result.metrics,
+        "{name}: engines diverged"
+    );
+    assert_eq!(interp_result.checksum, block_result.checksum, "{name}");
+
+    let interp = bench(&format!("sim/interp/{name}"), || {
+        run(program, sim, SimEngine::Interpret)
+    });
+    let block = bench(&format!("sim/block/{name}"), || {
+        run(program, sim, SimEngine::BlockCompiled)
+    });
+    let case = Case {
+        name: name.to_string(),
+        insts: interp_result.metrics.insts.total(),
+        loads: interp_result.metrics.insts.loads,
+        interp_ns: interp.median.as_nanos(),
+        block_ns: block.median.as_nanos(),
+        interp_min_ns: interp.min.as_nanos(),
+        block_min_ns: block.min.as_nanos(),
+        func_ns: None,
+        func_min_ns: None,
+    };
+    print_case(&case);
+    case
+}
+
+/// Full simulation passes over the standard 255-cell grid, per engine.
+/// Every cell is compiled up front; the timed passes run only the
+/// simulator.
+fn measure_grid() -> Case {
+    let mut cells = Vec::new();
+    for k in bsched_workloads::all_kernels() {
+        for cfg in standard_grid() {
+            let options = cfg.options();
+            let compiled = Experiment::builder()
+                .program(k.name, k.program())
+                .compile_options(options)
+                .build()
+                .expect("cell builds")
+                .compile()
+                .expect("cell compiles");
+            cells.push((compiled.program, options.sim));
+        }
+    }
+
+    // Bit-identity across the whole grid, plus the instruction totals.
+    let mut insts = 0;
+    let mut loads = 0;
+    for (program, sim) in &cells {
+        let a = run(program, *sim, SimEngine::Interpret);
+        let b = run(program, *sim, SimEngine::BlockCompiled);
+        assert_eq!(a.metrics, b.metrics, "{}: engines diverged", program.name());
+        assert_eq!(a.checksum, b.checksum, "{}", program.name());
+        insts += a.metrics.insts.total();
+        loads += a.metrics.insts.loads;
+    }
+
+    let passes: usize = std::env::var("BENCH_GRID_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| (1..=100).contains(&n))
+        .unwrap_or(5);
+    let engine_pass = |engine: SimEngine| -> Duration {
+        let start = Instant::now();
+        for (program, sim) in &cells {
+            std::hint::black_box(run(program, *sim, engine));
+        }
+        start.elapsed()
+    };
+    let func_pass = || -> Duration {
+        let start = Instant::now();
+        for (program, _) in &cells {
+            std::hint::black_box(
+                bsched_ir::interp::Interp::new(program)
+                    .run()
+                    .expect("cell executes"),
+            );
+        }
+        start.elapsed()
+    };
+    // Interleaved repetitions: contention bursts hit one repetition's
+    // three arms together rather than one engine's whole sweep.
+    let (mut interp, mut block, mut func) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..passes {
+        interp.push(engine_pass(SimEngine::Interpret));
+        block.push(engine_pass(SimEngine::BlockCompiled));
+        func.push(func_pass());
+    }
+    interp.sort();
+    block.sort();
+    func.sort();
+    let case = Case {
+        name: format!("grid/all_experiments_{}", cells.len()),
+        insts,
+        loads,
+        interp_ns: interp[passes / 2].as_nanos(),
+        block_ns: block[passes / 2].as_nanos(),
+        interp_min_ns: interp[0].as_nanos(),
+        block_min_ns: block[0].as_nanos(),
+        func_ns: Some(func[passes / 2].as_nanos()),
+        func_min_ns: Some(func[0].as_nanos()),
+    };
+    print_case(&case);
+    println!(
+        "    interp {:.2}s/pass, block {:.2}s/pass, functional floor {:.2}s/pass \
+         ({passes} passes each)",
+        case.interp_min_ns as f64 / 1e9,
+        case.block_min_ns as f64 / 1e9,
+        case.func_min_ns.unwrap_or(0) as f64 / 1e9,
+    );
+    if let Some(s) = case.overhead_speedup_min() {
+        println!("    timing-engine speedup over the functional floor: {s:.1}x");
+    }
+    case
+}
+
+fn to_json(cases: &[Case]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"simulator\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let mut floor = String::new();
+        if let (Some(f), Some(fm), Some(s)) = (c.func_ns, c.func_min_ns, c.overhead_speedup_min())
+        {
+            let _ = write!(
+                floor,
+                ", \"functional_ns\": {f}, \"functional_min_ns\": {fm}, \
+                 \"overhead_speedup_min\": {s:.2}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"insts\": {}, \"loads\": {}, \
+             \"interp_ns\": {}, \"block_ns\": {}, \"speedup\": {:.2}, \
+             \"interp_min_ns\": {}, \"block_min_ns\": {}, \"speedup_min\": {:.2}{floor}}}{comma}",
+            c.name,
+            c.insts,
+            c.loads,
+            c.interp_ns,
+            c.block_ns,
+            c.speedup(),
+            c.interp_min_ns,
+            c.block_min_ns,
+            c.speedup_min()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `(name, median speedup, min-based speedup if recorded)` per case.
+fn parse_baseline(json: &str) -> Vec<(String, f64, Option<f64>)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    json.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|l| {
+            let name = field(l, "name")?;
+            let speedup = field(l, "speedup")?.parse().ok()?;
+            let speedup_min = field(l, "speedup_min").and_then(|v| v.parse().ok());
+            Some((name, speedup, speedup_min))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires an argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let json_path = flag_value("--json");
+    let check_path = flag_value("--check");
+    let check_ratio: f64 = flag_value("--check-ratio").map_or(0.9, |v| {
+        let r = v.parse().unwrap_or(f64::NAN);
+        if !(r > 0.0 && r <= 1.0) {
+            eprintln!("--check-ratio requires a number in (0, 1], got {v}");
+            std::process::exit(2);
+        }
+        r
+    });
+
+    println!("simulator (interpreting engine vs block-compiled engine):");
+    let mut cases = Vec::new();
+    for (kernel, options) in [
+        ("su2cor", CompileOptions::new(SchedulerKind::Balanced)),
+        (
+            "tomcatv",
+            CompileOptions::new(SchedulerKind::Balanced).with_unroll(8),
+        ),
+        ("ARC2D", CompileOptions::new(SchedulerKind::Traditional)),
+    ] {
+        let name = format!("{kernel}/{}", options.label());
+        let (program, sim) = compile_cell(kernel, options);
+        cases.push(measure_cell(&name, &program, sim));
+    }
+
+    if args.iter().any(|a| a == "--grid") {
+        println!("full grid (simulation only, compile excluded):");
+        cases.push(measure_grid());
+    }
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, to_json(&cases)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut failed = false;
+        for (name, base_median, base_min) in parse_baseline(&baseline) {
+            let Some(case) = cases.iter().find(|c| c.name == name) else {
+                continue;
+            };
+            let (now, base) = match base_min {
+                Some(b) => (case.speedup_min(), b),
+                None => (case.speedup(), base_median),
+            };
+            if now < base * check_ratio {
+                eprintln!(
+                    "REGRESSION: sim/{name} speedup {now:.1}x is more than {:.0}% \
+                     below the recorded {base:.1}x",
+                    (1.0 - check_ratio) * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check vs {path}: ok");
+    }
 }

@@ -13,9 +13,15 @@
 //! Unknown names — and an empty list — are rejected with the list of
 //! valid choices and exit code 2.
 //!
+//! `--engine NAME` (or `--engine=NAME`, or `BSCHED_SIM_ENGINE=NAME`)
+//! selects the simulation engine — `interpret` or `block` — with
+//! byte-identical output either way; unknown names are rejected with
+//! the valid choices and exit code 2.
+//!
 //! `--verify` runs the `bsched-verify` conformance suite on every
 //! executed cell (schedule legality, weight cross-check, differential
-//! replay, metamorphic invariants); `BSCHED_VERIFY=1` does the same.
+//! replay, engine cross-check, metamorphic invariants);
+//! `BSCHED_VERIFY=1` does the same.
 //! `--fuzz N` additionally runs an N-iteration pipeline-fuzzing
 //! campaign after the grid (`--fuzz-seed HEX` and `--fuzz-seconds S`
 //! control the seed and a wall-clock budget). Verification output goes
@@ -34,6 +40,13 @@ fn valid_kernels() -> String {
         .join(", ")
 }
 
+fn parse_engine(raw: &str) -> bsched_pipeline::SimEngine {
+    raw.trim().parse().unwrap_or_else(|e| {
+        eprintln!("--engine: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn parse_kernel_list(raw: &str) -> Vec<String> {
     if raw.trim().is_empty() {
         eprintln!(
@@ -48,6 +61,7 @@ fn parse_kernel_list(raw: &str) -> Vec<String> {
 struct Cli {
     csv: bool,
     verify: bool,
+    engine: Option<bsched_pipeline::SimEngine>,
     filter: Option<Vec<String>>,
     fuzz: Option<u64>,
     fuzz_seed: u64,
@@ -78,6 +92,7 @@ fn parse_args(args: &[String]) -> Cli {
     let mut cli = Cli {
         csv: false,
         verify: false,
+        engine: None,
         filter: None,
         fuzz: None,
         fuzz_seed: 0xB5ED,
@@ -111,6 +126,11 @@ fn parse_args(args: &[String]) -> Cli {
             cli.csv = true;
         } else if a == "--verify" {
             cli.verify = true;
+        } else if a == "--engine" {
+            cli.engine = Some(parse_engine(&value(i, "--engine")));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--engine=") {
+            cli.engine = Some(parse_engine(v));
         } else if a == "--kernels" {
             cli.filter = Some(parse_kernel_list(&value(i, "--kernels")));
             i += 1;
@@ -226,6 +246,9 @@ fn main() {
 
     let mut engine_cfg = EngineConfig::from_env();
     engine_cfg.verify = engine_cfg.verify || cli.verify;
+    if let Some(engine) = cli.engine {
+        engine_cfg.sim_engine = engine; // the flag beats BSCHED_SIM_ENGINE
+    }
     let grid = Grid::with_engine(Engine::with_standard_kernels(engine_cfg));
     let configs = standard_grid();
     let kernels: Vec<String> = match &filter {

@@ -136,6 +136,77 @@ fn empty_bsched_cache_dir_fails_loudly_instead_of_caching_nowhere() {
 }
 
 #[test]
+fn unknown_engine_names_are_rejected_with_the_valid_choices() {
+    for args in [vec!["--engine", "bogus"], vec!["--engine=bogus"]] {
+        let out = all_experiments().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("bogus"), "{args:?}: {err}");
+        assert!(
+            err.contains("interpret") && err.contains("block"),
+            "{args:?} must list valid engines: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{args:?} must not start the grid");
+    }
+    let out = all_experiments().arg("--engine").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine"));
+}
+
+#[test]
+fn invalid_bsched_sim_engine_fails_loudly_instead_of_degrading() {
+    for bad in ["bogus", "interpreter9000", ""] {
+        let out = all_experiments()
+            .args(["--kernels", "TRFD"])
+            .env("BSCHED_SIM_ENGINE", bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "BSCHED_SIM_ENGINE={bad:?} must exit 2, not fall back silently"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid BSCHED_SIM_ENGINE"), "{bad:?}: {err}");
+        assert!(
+            err.contains("interpret") && err.contains("block"),
+            "{bad:?} must list valid engines: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{bad:?} must not start the grid");
+    }
+}
+
+/// The engine axis is execution-only: it is not part of any cache key,
+/// so a cache warmed under one engine must be answered entirely from
+/// disk under the other — and print the same bytes.
+#[test]
+fn cache_warmed_under_one_engine_fully_hits_under_the_other() {
+    let cache = std::env::temp_dir().join(format!("bsched-engine-cache-{}", std::process::id()));
+    let run = |engine: &str| {
+        all_experiments()
+            .args(["--kernels", "TRFD", "--engine", engine])
+            .env("BSCHED_JOBS", "2")
+            .env("BSCHED_CACHE_DIR", &cache)
+            .output()
+            .unwrap()
+    };
+    let warm = run("interpret");
+    let reuse = run("block");
+    std::fs::remove_dir_all(&cache).ok();
+    assert!(warm.status.success(), "{}", String::from_utf8_lossy(&warm.stderr));
+    assert!(reuse.status.success(), "{}", String::from_utf8_lossy(&reuse.stderr));
+    assert_eq!(
+        warm.stdout, reuse.stdout,
+        "engines must print byte-identical tables"
+    );
+    let err = String::from_utf8_lossy(&reuse.stderr);
+    assert!(
+        err.contains(" 0 executed (100% cache hits)"),
+        "the block run must be answered entirely from the interpret-warmed cache: {err}"
+    );
+}
+
+#[test]
 fn trace_summary_composes_with_verify_and_kernels() {
     let out = all_experiments()
         .args(["--kernels", "TRFD", "--verify", "--trace-summary"])

@@ -6,6 +6,11 @@
 //! formatting tweak or an accidental numeric drift — shows up as a
 //! diff against `tests/golden/<binary>.txt` at the workspace root.
 //!
+//! Every binary runs twice, once per simulation engine
+//! (`BSCHED_SIM_ENGINE=interpret` and `=block`), with the cache
+//! disabled so both engines genuinely execute; both runs must match
+//! the same snapshot byte for byte.
+//!
 //! To refresh after an intentional change:
 //!
 //! ```text
@@ -22,20 +27,26 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root resolves")
 }
 
-fn check(name: &str, exe: &str) {
-    let root = workspace_root();
-    let golden = root.join("tests/golden").join(format!("{name}.txt"));
+fn run_under(name: &str, exe: &str, root: &PathBuf, engine: &str) -> String {
     let out = Command::new(exe)
-        .current_dir(&root)
+        .current_dir(root)
+        .env("BSCHED_SIM_ENGINE", engine)
+        .env("BSCHED_NO_CACHE", "1")
         .output()
         .unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"));
     assert!(
         out.status.success(),
-        "{name} exited with {:?}:\n{}",
+        "{name} under {engine} exited with {:?}:\n{}",
         out.status,
         String::from_utf8_lossy(&out.stderr)
     );
-    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn check(name: &str, exe: &str) {
+    let root = workspace_root();
+    let golden = root.join("tests/golden").join(format!("{name}.txt"));
+    let stdout = run_under(name, exe, &root, "interpret");
     if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
         std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
         std::fs::write(&golden, &stdout).unwrap();
@@ -52,6 +63,12 @@ fn check(name: &str, exe: &str) {
         stdout, want,
         "{name} stdout diverged from tests/golden/{name}.txt; if the \
          change is intentional, refresh with UPDATE_GOLDEN=1"
+    );
+    let block = run_under(name, exe, &root, "block");
+    assert_eq!(
+        block, want,
+        "{name} under the block-compiled engine diverged from \
+         tests/golden/{name}.txt — the engines must be byte-identical"
     );
 }
 

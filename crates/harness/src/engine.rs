@@ -8,7 +8,7 @@ use crate::report::{CellTiming, RunReport};
 use crate::store::ResultStore;
 use bsched_ir::Program;
 use bsched_pipeline::Experiment;
-use bsched_sim::SimMetrics;
+use bsched_sim::{SimEngine, SimMetrics};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -71,6 +71,11 @@ pub struct EngineConfig {
     /// suite. Violations fail the run; cached results that were not
     /// verified when computed are recomputed.
     pub verify: bool,
+    /// Which simulation engine executes cells. Both engines produce
+    /// bit-identical results, so — like tracing — the choice is **not**
+    /// part of any cache key: a cache warmed under one engine is 100%
+    /// hits under the other.
+    pub sim_engine: SimEngine,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +85,7 @@ impl Default for EngineConfig {
             disk_cache: true,
             cache_dir: PathBuf::from("results/cache"),
             verify: false,
+            sim_engine: SimEngine::default(),
         }
     }
 }
@@ -98,7 +104,9 @@ impl EngineConfig {
     /// * `BSCHED_CACHE_DIR=<path>` — cache root (default
     ///   `results/cache`),
     /// * `BSCHED_VERIFY=1` — run the conformance suite on every
-    ///   executed cell.
+    ///   executed cell,
+    /// * `BSCHED_SIM_ENGINE=<interpret|block>` — simulation engine
+    ///   (default `block`; results are bit-identical either way).
     ///
     /// Invalid values exit the process with code 2 and a clear message
     /// rather than degrading silently — a typo'd `BSCHED_JOBS=32x` on a
@@ -122,8 +130,9 @@ impl EngineConfig {
     ///
     /// # Errors
     ///
-    /// `BSCHED_JOBS` that is not a positive integer, or an empty
-    /// `BSCHED_CACHE_DIR`.
+    /// `BSCHED_JOBS` that is not a positive integer, an empty
+    /// `BSCHED_CACHE_DIR`, or a `BSCHED_SIM_ENGINE` naming no known
+    /// engine.
     pub fn try_from_env() -> Result<Self, String> {
         let mut cfg = EngineConfig::default();
         if let Ok(v) = std::env::var("BSCHED_JOBS") {
@@ -156,6 +165,17 @@ impl EngineConfig {
                 cfg.verify = true;
             }
         }
+        if let Ok(v) = std::env::var("BSCHED_SIM_ENGINE") {
+            match v.trim().parse::<SimEngine>() {
+                Ok(engine) => cfg.sim_engine = engine,
+                Err(_) => {
+                    return Err(format!(
+                        "invalid BSCHED_SIM_ENGINE={v:?}: valid engines: {}",
+                        SimEngine::valid_choices()
+                    ))
+                }
+            }
+        }
         Ok(cfg)
     }
 
@@ -184,6 +204,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_verify(mut self, on: bool) -> Self {
         self.verify = on;
+        self
+    }
+
+    /// Overrides the simulation engine.
+    #[must_use]
+    pub fn with_sim_engine(mut self, engine: SimEngine) -> Self {
+        self.sim_engine = engine;
         self
     }
 }
@@ -222,6 +249,7 @@ impl Engine {
         let disk = DiskCache::new(&config.cache_dir, config.disk_cache);
         let report = RunReport {
             workers: config.jobs,
+            sim_engine: config.sim_engine.label().to_string(),
             ..RunReport::default()
         };
         Engine {
@@ -444,6 +472,7 @@ impl Engine {
         let session = Experiment::builder()
             .program(cell.kernel(), program.clone())
             .compile_options(*cell.options())
+            .engine(self.config.sim_engine)
             .build()
             .map_err(|e| HarnessError::Cell {
                 cell: cell.to_string(),

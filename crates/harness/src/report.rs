@@ -47,6 +47,9 @@ pub struct RunReport {
     pub fuzz_iterations: u64,
     /// Worker count used for parallel batches.
     pub workers: usize,
+    /// Label of the simulation engine executing cells (empty when the
+    /// engine was never configured, e.g. in unit tests).
+    pub sim_engine: String,
     /// Busy time per worker, summed over batches.
     pub worker_busy: Vec<Duration>,
     /// Wall time spent inside parallel batches.
@@ -119,6 +122,9 @@ impl RunReport {
             );
         }
         if self.executed > 0 {
+            if !self.sim_engine.is_empty() {
+                let _ = writeln!(s, "engine: {}", self.sim_engine);
+            }
             let total_busy: Duration = self.worker_busy.iter().sum();
             let _ = writeln!(
                 s,

@@ -36,7 +36,7 @@ use crate::options::CompileOptions;
 use crate::run::{run_impl, RunResult};
 use bsched_core::{SchedulerKind, TieBreak};
 use bsched_ir::Program;
-use bsched_sim::SimConfig;
+use bsched_sim::{SimConfig, SimEngine};
 
 /// A named optimization level: the ILP-increasing transformation sets
 /// evaluated in the paper, with the paper's unroll factors baked in.
@@ -183,6 +183,7 @@ pub struct ExperimentBuilder {
     reference_weights: bool,
     options_override: Option<CompileOptions>,
     trace: bool,
+    engine: SimEngine,
 }
 
 /// `ConfigKind` with a `Default`, private to the builder.
@@ -311,6 +312,21 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Selects the simulation engine for this session's
+    /// [`run`](Session::run) calls (default:
+    /// [`SimEngine::BlockCompiled`]).
+    ///
+    /// Both engines produce bit-identical metrics, trace attribution,
+    /// and checksums — the choice is an execution detail like
+    /// [`trace`](Self::trace), deliberately *not* part of
+    /// [`CompileOptions`], so harness cache keys are unaffected and a
+    /// cache warmed under one engine is 100% hits under the other.
+    #[must_use]
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Validates the configuration and freezes it into a [`Session`].
     ///
     /// # Errors
@@ -358,6 +374,7 @@ impl ExperimentBuilder {
             program,
             options,
             trace: self.trace,
+            engine: self.engine,
         })
     }
 }
@@ -370,6 +387,7 @@ pub struct Session {
     program: Program,
     options: CompileOptions,
     trace: bool,
+    engine: SimEngine,
 }
 
 impl Session {
@@ -404,6 +422,13 @@ impl Session {
         self.trace
     }
 
+    /// The simulation engine this session runs on (see
+    /// [`ExperimentBuilder::engine`]).
+    #[must_use]
+    pub fn engine(&self) -> SimEngine {
+        self.engine
+    }
+
     /// An enable guard when this session is traced, `None` otherwise.
     fn trace_scope(&self) -> Option<bsched_trace::EnableGuard> {
         self.trace.then(bsched_trace::enable_scope)
@@ -417,7 +442,7 @@ impl Session {
     /// Propagates [`PipelineError`]s from compilation and simulation.
     pub fn run(&self) -> Result<RunResult, PipelineError> {
         let _trace = self.trace_scope();
-        run_impl(&self.program, &self.options)
+        run_impl(&self.program, &self.options, self.engine)
     }
 
     /// Compiles only (no simulation): the full phase order through
@@ -537,6 +562,33 @@ mod tests {
             format!("{:?}", traced.options()),
             format!("{:?}", plain.options())
         );
+    }
+
+    #[test]
+    fn engine_axis_is_execution_only() {
+        let interp = Experiment::builder()
+            .kernel("TRFD")
+            .engine(SimEngine::Interpret)
+            .build()
+            .unwrap();
+        let block = Experiment::builder()
+            .kernel("TRFD")
+            .engine(SimEngine::BlockCompiled)
+            .build()
+            .unwrap();
+        assert_eq!(interp.engine(), SimEngine::Interpret);
+        assert_eq!(block.engine(), SimEngine::BlockCompiled);
+        // Like tracing, the engine is not a compile axis: resolved
+        // options (and hence every harness cache key) are identical,
+        // and so are the results.
+        assert_eq!(
+            format!("{:?}", interp.options()),
+            format!("{:?}", block.options())
+        );
+        let a = interp.run().unwrap();
+        let b = block.run().unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.checksum_ok && b.checksum_ok);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::compile::{compile_impl, CompileStats, PipelineError};
 use crate::options::CompileOptions;
 use bsched_ir::{Interp, Program};
-use bsched_sim::{SimMetrics, Simulator};
+use bsched_sim::{SimEngine, SimMetrics, Simulator};
 
 /// The result of one end-to-end run.
 #[derive(Debug, Clone)]
@@ -30,15 +30,21 @@ pub fn compile_and_run(
     source: &Program,
     opts: &CompileOptions,
 ) -> Result<RunResult, PipelineError> {
-    run_impl(source, opts)
+    run_impl(source, opts, SimEngine::default())
 }
 
 /// The implementation behind [`compile_and_run`] and
 /// [`crate::Session::run`].
-pub(crate) fn run_impl(source: &Program, opts: &CompileOptions) -> Result<RunResult, PipelineError> {
+pub(crate) fn run_impl(
+    source: &Program,
+    opts: &CompileOptions,
+    engine: SimEngine,
+) -> Result<RunResult, PipelineError> {
     let compiled = compile_impl(source, opts)?;
     let reference = Interp::new(source).run()?;
-    let sim = Simulator::new(&compiled.program, opts.sim).run()?;
+    let sim = Simulator::with_config(&compiled.program, opts.sim)
+        .with_engine(engine)
+        .run()?;
     Ok(RunResult {
         metrics: sim.metrics,
         compile: compiled.stats,

@@ -23,6 +23,8 @@ fn sock_path(tag: &str) -> PathBuf {
 }
 
 struct TestServer {
+    /// Keeps the serving core alive for the server/dispatcher threads.
+    #[allow(dead_code)]
     core: Arc<ServeCore>,
     endpoint: Endpoint,
     serve_thread: std::thread::JoinHandle<()>,

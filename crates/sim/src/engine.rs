@@ -1,0 +1,109 @@
+//! The engine axis of the simulator API.
+//!
+//! Both engines implement the *same* machine model and produce
+//! bit-identical [`crate::SimMetrics`], per-load-site trace attribution,
+//! and memory checksums; they differ only in how fast they get there.
+//! Because the choice is metrics-invariant it is deliberately **not**
+//! part of `CompileOptions` or any result-cache key — like tracing, it
+//! is an execution detail, not an experiment knob.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine [`crate::Simulator::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimEngine {
+    /// The original one-instruction-at-a-time interpreting engine:
+    /// decodes, evaluates, and charges every instruction on every visit.
+    /// Retained as the differential reference for the block-compiled
+    /// engine.
+    Interpret,
+    /// The block-compiled engine: pre-decodes each basic block once into
+    /// a static cost skeleton (operand slots, latencies, load sites,
+    /// icache-line fetch points, instruction-count deltas), caches it by
+    /// block identity, and per visit replays only the dynamic parts —
+    /// cache/TLB lookups, MSHR occupancy, branch outcomes.
+    #[default]
+    BlockCompiled,
+}
+
+impl SimEngine {
+    /// Every engine, in a stable order.
+    pub const ALL: [SimEngine; 2] = [SimEngine::Interpret, SimEngine::BlockCompiled];
+
+    /// Short stable name, used by CLI flags, env knobs, and run reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimEngine::Interpret => "interpret",
+            SimEngine::BlockCompiled => "block",
+        }
+    }
+
+    /// The valid spellings, for error messages.
+    #[must_use]
+    pub fn valid_choices() -> &'static str {
+        "interpret, block"
+    }
+
+    /// The other engine — handy for differential cross-checks.
+    #[must_use]
+    pub fn other(self) -> SimEngine {
+        match self {
+            SimEngine::Interpret => SimEngine::BlockCompiled,
+            SimEngine::BlockCompiled => SimEngine::Interpret,
+        }
+    }
+}
+
+impl fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for SimEngine {
+    type Err = String;
+
+    /// Parses an engine name as spelled by [`SimEngine::label`]
+    /// (`block-compiled` is accepted as an alias for `block`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interpret" => Ok(SimEngine::Interpret),
+            "block" | "block-compiled" => Ok(SimEngine::BlockCompiled),
+            other => Err(format!(
+                "unknown simulation engine {other:?}; valid engines: {}",
+                SimEngine::valid_choices()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for engine in SimEngine::ALL {
+            assert_eq!(engine.label().parse::<SimEngine>(), Ok(engine));
+            assert_eq!(engine.to_string(), engine.label());
+        }
+        assert_eq!("block-compiled".parse::<SimEngine>(), Ok(SimEngine::BlockCompiled));
+    }
+
+    #[test]
+    fn unknown_names_list_the_valid_choices() {
+        let err = "banana".parse::<SimEngine>().unwrap_err();
+        assert!(err.contains("banana"), "{err}");
+        assert!(err.contains("interpret") && err.contains("block"), "{err}");
+    }
+
+    #[test]
+    fn other_flips() {
+        for engine in SimEngine::ALL {
+            assert_ne!(engine.other(), engine);
+            assert_eq!(engine.other().other(), engine);
+        }
+    }
+}

@@ -8,11 +8,18 @@
 //! simulate single instruction issue "to understand fully balanced
 //! scheduling's ability to exploit load-level parallelism".
 //!
-//! The simulator is *execution driven*: it interprets the program (real
+//! The simulator is *execution driven*: it executes the program (real
 //! values, real addresses, real branch outcomes) while tracking per-
 //! register result-ready times on a scoreboard. It produces the metrics
 //! the paper reports: total cycles, **load interlock cycles**, fixed-
 //! latency interlock cycles, and dynamic instruction counts by class.
+//!
+//! Two execution engines implement the model behind one API (the
+//! [`SimEngine`] axis of [`Simulator`]): the original interpreting
+//! engine and a block-compiled engine that pre-decodes each basic block
+//! into a cached static cost skeleton and replays only dynamic state
+//! per visit. They produce bit-identical results; the block-compiled
+//! engine is simply much faster and is the default.
 //!
 //! ```
 //! use bsched_ir::{FuncBuilder, Op, Program};
@@ -28,19 +35,31 @@
 //! b.ret();
 //! p.set_main(b.finish());
 //!
-//! let m = Simulator::new(&p, SimConfig::default()).run().unwrap();
+//! let m = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
 //! assert!(m.metrics.load_interlock > 0); // fadd waited on the cold load
+//!
+//! // Engines are interchangeable bit for bit:
+//! use bsched_sim::SimEngine;
+//! let interp = Simulator::with_config(&p, SimConfig::default())
+//!     .with_engine(SimEngine::Interpret)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(m.metrics, interp.metrics);
+//! assert_eq!(m.checksum, interp.checksum);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 pub mod branch;
 pub mod config;
+pub mod engine;
 pub mod machine;
 pub mod metrics;
 
 pub use branch::BranchPredictor;
 pub use config::{BranchConfig, SimConfig};
+pub use engine::SimEngine;
 pub use machine::{SimResult, Simulator};
 pub use metrics::{InstCounts, SimMetrics};

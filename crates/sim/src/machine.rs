@@ -1,7 +1,14 @@
 //! The execution-driven timing machine.
+//!
+//! This module holds the engine-agnostic [`Simulator`] front end, the
+//! machine-model state shared by both engines (scoreboard, per-site
+//! trace attribution, code layout), and the one-instruction-at-a-time
+//! *interpreting* engine. The block-compiled engine lives in
+//! [`crate::block`] and must reproduce the interpreter bit for bit.
 
 use crate::branch::BranchPredictor;
 use crate::config::SimConfig;
+use crate::engine::SimEngine;
 use crate::metrics::SimMetrics;
 use bsched_ir::{
     interp::RegFile, BlockId, ExecError, Function, MemImage, Op, Program, Terminator, Value,
@@ -20,7 +27,26 @@ pub struct SimResult {
 }
 
 /// Sentinel "not produced by a load" site id.
-const NO_SITE: u32 = u32::MAX;
+pub(crate) const NO_SITE: u32 = u32::MAX;
+
+/// Base address of the code region: 4 bytes per instruction, terminator
+/// included. Code lives far above data so instruction fetches and data
+/// accesses never share cache lines.
+pub(crate) const CODE_BASE: u64 = 1 << 32;
+
+/// Computes the code layout shared by both engines: the base address of
+/// every block (in [`BlockId`] index order) and the end-of-code address.
+/// The static *site id* of the instruction at `pc` is
+/// `(pc - CODE_BASE) / 4`.
+pub(crate) fn code_layout(func: &Function) -> (Vec<u64>, u64) {
+    let mut block_addr = Vec::with_capacity(func.blocks().len());
+    let mut pc = CODE_BASE;
+    for (_, b) in func.iter_blocks() {
+        block_addr.push(pc);
+        pc += 4 * (b.len() as u64 + 1);
+    }
+    (block_addr, pc)
+}
 
 /// Per-register scoreboard: when each register's value becomes
 /// available, and — for interlock attribution — the static code site
@@ -76,11 +102,11 @@ impl Scoreboard {
 /// `load_interlock` counter, so their sum reproduces it exactly — the
 /// conservation property the test suite pins.
 #[derive(Debug, Clone, Copy, Default)]
-struct SiteStat {
-    issued: u64,
-    interlock: u64,
-    mshr: u64,
-    hits: [u64; 4], // L1, L2, L3, memory
+pub(crate) struct SiteStat {
+    pub(crate) issued: u64,
+    pub(crate) interlock: u64,
+    pub(crate) mshr: u64,
+    pub(crate) hits: [u64; 4], // L1, L2, L3, memory
 }
 
 impl SiteStat {
@@ -89,19 +115,86 @@ impl SiteStat {
     }
 }
 
-/// The simulator. Build with [`Simulator::new`], consume with
-/// [`Simulator::run`].
+/// Emits one `sim.load_site` event per static site with any load
+/// activity: where it lives (block), how often it issued, which memory
+/// levels answered, and how many load-interlock cycles it was blamed
+/// for (operand interlocks + MSHR stalls). Shared by both engines so
+/// per-site attribution is byte-identical across them.
+pub(crate) fn flush_site_events(program_name: &str, sites: &[SiteStat], block_addr: &[u64]) {
+    for (site, st) in sites.iter().enumerate() {
+        if !st.any() {
+            continue;
+        }
+        let addr = CODE_BASE + 4 * site as u64;
+        let block = block_addr.partition_point(|&b| b <= addr).saturating_sub(1);
+        bsched_trace::instant(
+            bsched_trace::points::SIM_LOAD_SITE,
+            program_name,
+            &[
+                ("site", site as u64),
+                ("block", block as u64),
+                ("issued", st.issued),
+                ("interlock", st.interlock),
+                ("mshr_stall", st.mshr),
+                ("l1", st.hits[0]),
+                ("l2", st.hits[1]),
+                ("l3", st.hits[2]),
+                ("mem", st.hits[3]),
+            ],
+        );
+    }
+}
+
+/// The simulator. Build with [`Simulator::with_config`], pick an engine
+/// with [`Simulator::with_engine`], consume with [`Simulator::run`].
 #[derive(Debug)]
 pub struct Simulator<'p> {
     program: &'p Program,
     config: SimConfig,
+    engine: SimEngine,
 }
 
 impl<'p> Simulator<'p> {
-    /// Creates a simulator for `program`.
+    /// Creates a simulator for `program` running on the default engine
+    /// ([`SimEngine::default`]).
+    #[must_use]
+    pub fn with_config(program: &'p Program, config: SimConfig) -> Self {
+        Simulator {
+            program,
+            config,
+            engine: SimEngine::default(),
+        }
+    }
+
+    /// Creates a simulator pinned to the pre-0.4 interpreting engine.
+    ///
+    /// Bypassed by the engine-agnostic API: use
+    /// [`Simulator::with_config`] (which follows the default engine) and
+    /// [`Simulator::with_engine`] to pick one explicitly. Both engines
+    /// produce bit-identical results, so migrating never changes
+    /// metrics or checksums.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Simulator::with_config(..) [+ .with_engine(..)]; \
+                this shim pins SimEngine::Interpret"
+    )]
     #[must_use]
     pub fn new(program: &'p Program, config: SimConfig) -> Self {
-        Simulator { program, config }
+        Simulator::with_config(program, config).with_engine(SimEngine::Interpret)
+    }
+
+    /// Selects the execution engine. Metrics-invariant: both engines
+    /// produce bit-identical [`SimResult`]s.
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine this simulator will run on.
+    #[must_use]
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// Runs the program to completion on the timing model.
@@ -112,6 +205,15 @@ impl<'p> Simulator<'p> {
     /// budget is exhausted and [`ExecError::WildStore`] on a store outside
     /// the memory image.
     pub fn run(&self) -> Result<SimResult, ExecError> {
+        match self.engine {
+            SimEngine::Interpret => self.run_interpret(),
+            SimEngine::BlockCompiled => crate::block::run(self.program, self.config),
+        }
+    }
+
+    /// The interpreting engine: decode, evaluate, and charge every
+    /// instruction on every visit.
+    fn run_interpret(&self) -> Result<SimResult, ExecError> {
         let func = self.program.main();
         let mut regs = RegFile::new(func);
         let mut mem = MemImage::new(self.program);
@@ -121,22 +223,13 @@ impl<'p> Simulator<'p> {
         let mut pred = BranchPredictor::new(&self.config.branch);
         let mut m = SimMetrics::default();
 
-        // Code layout: 4 bytes per instruction, terminator included. Code
-        // lives in its own address region far above data so instruction
-        // fetches and data accesses never share cache lines.
-        const CODE_BASE: u64 = 1 << 32;
-        let mut block_addr = Vec::with_capacity(func.blocks().len());
-        let mut pc = CODE_BASE;
-        for (_, b) in func.iter_blocks() {
-            block_addr.push(pc);
-            pc += 4 * (b.len() as u64 + 1);
-        }
+        let (block_addr, code_end) = code_layout(func);
 
         // Load-interlock attribution (tracing only): one row per static
         // code slot, flushed as `sim.load_site` events at `Ret`.
         let tracing = bsched_trace::enabled();
         let mut sites: Vec<SiteStat> = if tracing {
-            vec![SiteStat::default(); ((pc - CODE_BASE) / 4) as usize]
+            vec![SiteStat::default(); ((code_end - CODE_BASE) / 4) as usize]
         } else {
             Vec::new()
         };
@@ -347,7 +440,7 @@ impl<'p> Simulator<'p> {
                     m.cycles = now;
                     m.mem = *hier.stats();
                     if tracing {
-                        self.flush_site_events(&sites, &block_addr, CODE_BASE);
+                        flush_site_events(self.program.name(), &sites, &block_addr);
                         if let Some(span) = run_span.take() {
                             span.finish(&[
                                 ("cycles", m.cycles),
@@ -362,35 +455,6 @@ impl<'p> Simulator<'p> {
                 }
             };
             cur = next;
-        }
-    }
-
-    /// Emits one `sim.load_site` event per static site with any load
-    /// activity: where it lives (block), how often it issued, which
-    /// memory levels answered, and how many load-interlock cycles it
-    /// was blamed for (operand interlocks + MSHR stalls).
-    fn flush_site_events(&self, sites: &[SiteStat], block_addr: &[u64], code_base: u64) {
-        for (site, st) in sites.iter().enumerate() {
-            if !st.any() {
-                continue;
-            }
-            let addr = code_base + 4 * site as u64;
-            let block = block_addr.partition_point(|&b| b <= addr).saturating_sub(1);
-            bsched_trace::instant(
-                bsched_trace::points::SIM_LOAD_SITE,
-                self.program.name(),
-                &[
-                    ("site", site as u64),
-                    ("block", block as u64),
-                    ("issued", st.issued),
-                    ("interlock", st.interlock),
-                    ("mshr_stall", st.mshr),
-                    ("l1", st.hits[0]),
-                    ("l2", st.hits[1]),
-                    ("l3", st.hits[2]),
-                    ("mem", st.hits[3]),
-                ],
-            );
         }
     }
 }
@@ -423,16 +487,16 @@ mod tests {
     #[test]
     fn cold_load_interlocks_consumer() {
         let p = load_use_program(0);
-        let res = Simulator::new(&p, SimConfig::default()).run().unwrap();
+        let res = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
         assert!(res.metrics.load_interlock >= 40, "{:?}", res.metrics);
     }
 
     #[test]
     fn independent_work_hides_load_latency() {
-        let near = Simulator::new(&load_use_program(0), SimConfig::default())
+        let near = Simulator::with_config(&load_use_program(0), SimConfig::default())
             .run()
             .unwrap();
-        let far = Simulator::new(&load_use_program(12), SimConfig::default())
+        let far = Simulator::with_config(&load_use_program(12), SimConfig::default())
             .run()
             .unwrap();
         assert!(
@@ -447,7 +511,7 @@ mod tests {
     fn checksum_matches_functional_interpreter() {
         for gap in [0, 5] {
             let p = load_use_program(gap);
-            let sim = Simulator::new(&p, SimConfig::default()).run().unwrap();
+            let sim = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
             let reference = Interp::new(&p).run().unwrap();
             assert_eq!(sim.checksum, reference.checksum);
         }
@@ -478,8 +542,8 @@ mod tests {
     fn non_blocking_overlaps_misses_blocking_serialises() {
         let p = many_miss_program();
         let cfg = SimConfig::default().with_ifetch(false);
-        let nb = Simulator::new(&p, cfg).run().unwrap();
-        let blk = Simulator::new(&p, cfg.with_mshrs(1)).run().unwrap();
+        let nb = Simulator::with_config(&p, cfg).run().unwrap();
+        let blk = Simulator::with_config(&p, cfg.with_mshrs(1)).run().unwrap();
         // 8 cold misses at 50 cycles: blocking pays nearly all of them in
         // sequence; non-blocking overlaps several.
         assert!(
@@ -518,7 +582,7 @@ mod tests {
         b.ret();
         p.set_main(b.finish());
 
-        let res = Simulator::new(&p, SimConfig::default()).run().unwrap();
+        let res = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
         assert_eq!(res.metrics.insts.branches, 51);
         assert_eq!(res.metrics.insts.jumps, 51); // entry jmp + 50 latch jmps
                                                  // Mispredicts only at warmup and the final not-taken: small penalty.
@@ -541,7 +605,7 @@ mod tests {
         b.store(q, base, 0).with_region(r).emit(&mut b);
         b.ret();
         p.set_main(b.finish());
-        let res = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+        let res = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         assert!(res.metrics.fixed_interlock >= 25, "{:?}", res.metrics);
@@ -551,8 +615,8 @@ mod tests {
     #[test]
     fn ifetch_off_removes_fetch_stalls() {
         let p = load_use_program(3);
-        let on = Simulator::new(&p, SimConfig::default()).run().unwrap();
-        let off = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+        let on = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+        let off = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         assert!(on.metrics.fetch_stall > 0);
@@ -573,7 +637,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            Simulator::new(&p, cfg).run(),
+            Simulator::with_config(&p, cfg).run(),
             Err(ExecError::OutOfFuel { fuel: 10 })
         ));
     }
@@ -610,16 +674,16 @@ mod multi_issue_tests {
     #[test]
     fn wider_issue_is_faster_and_identical_functionally() {
         let p = ilp_program();
-        let w1 = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+        let w1 = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
-        let w2 = Simulator::new(
+        let w2 = Simulator::with_config(
             &p,
             SimConfig::default().with_ifetch(false).with_issue_width(2),
         )
         .run()
         .unwrap();
-        let w4 = Simulator::new(
+        let w4 = Simulator::with_config(
             &p,
             SimConfig::default().with_ifetch(false).with_issue_width(4),
         )
@@ -650,8 +714,8 @@ mod multi_issue_tests {
         one_port.mem_ports = 1;
         let mut four_ports = one_port;
         four_ports.mem_ports = 4;
-        let a = Simulator::new(&p, one_port).run().unwrap();
-        let b_ = Simulator::new(&p, four_ports).run().unwrap();
+        let a = Simulator::with_config(&p, one_port).run().unwrap();
+        let b_ = Simulator::with_config(&p, four_ports).run().unwrap();
         assert!(
             b_.metrics.cycles + 8 <= a.metrics.cycles,
             "{} vs {}",
@@ -675,12 +739,12 @@ mod multi_issue_tests {
         b.store(q2, base, 0).with_region(r).emit(&mut b);
         b.ret();
         p.set_main(b.finish());
-        let real = Simulator::new(&p, SimConfig::default().with_ifetch(false))
+        let real = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         let mut simple_cfg = SimConfig::default();
         simple_cfg = simple_cfg.simple_model_1993();
-        let simple = Simulator::new(&p, simple_cfg).run().unwrap();
+        let simple = Simulator::with_config(&p, simple_cfg).run().unwrap();
         assert!(real.metrics.fixed_interlock >= 29, "{:?}", real.metrics);
         assert_eq!(simple.metrics.fixed_interlock, 0, "{:?}", simple.metrics);
         assert_eq!(real.checksum, simple.checksum);

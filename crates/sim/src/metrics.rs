@@ -45,6 +45,29 @@ impl InstCounts {
         }
     }
 
+    /// Accumulates another count set. The block-compiled engine adds a
+    /// whole-block delta per visit instead of recording instructions one
+    /// at a time.
+    pub fn add(&mut self, other: &InstCounts) {
+        self.scaled_add(other, 1);
+    }
+
+    /// Accumulates `k` copies of another count set: the block-compiled
+    /// engine folds each block's static counts times its visit count
+    /// once at run exit, which is exactly the per-visit sum (integer
+    /// addition is associative and commutative).
+    pub fn scaled_add(&mut self, other: &InstCounts, k: u64) {
+        self.short_int += k * other.short_int;
+        self.long_int += k * other.long_int;
+        self.loads += k * other.loads;
+        self.stores += k * other.stores;
+        self.short_fp += k * other.short_fp;
+        self.long_fp += k * other.long_fp;
+        self.branches += k * other.branches;
+        self.jumps += k * other.jumps;
+        self.spills += k * other.spills;
+    }
+
     /// Total dynamic instructions, control transfers included.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -61,7 +84,11 @@ impl InstCounts {
 }
 
 /// The full metric set of one simulated run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare every field bit for bit — the conformance
+/// suite uses this to prove the block-compiled engine reproduces the
+/// interpreting engine exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimMetrics {
     /// Total execution cycles.
     pub cycles: u64,

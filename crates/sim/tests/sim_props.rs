@@ -37,7 +37,7 @@ fn timing_configs_never_change_functional_results() {
             .with_issue_width(width)
             .with_mshrs(mshrs)
             .with_ifetch(ifetch);
-        let sim = Simulator::new(&p, cfg).run().unwrap();
+        let sim = Simulator::with_config(&p, cfg).run().unwrap();
         assert_eq!(sim.checksum, reference, "case {case} (n {n}, seed {seed})");
         assert!(
             sim.metrics.cycles >= sim.metrics.insts.total() / u64::from(width).max(1),
@@ -54,8 +54,8 @@ fn wider_issue_never_slows_down() {
         let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
-        let w1 = Simulator::new(&p, base).run().unwrap().metrics.cycles;
-        let w4 = Simulator::new(&p, base.with_issue_width(4))
+        let w1 = Simulator::with_config(&p, base).run().unwrap().metrics.cycles;
+        let w4 = Simulator::with_config(&p, base.with_issue_width(4))
             .run()
             .unwrap()
             .metrics
@@ -72,12 +72,12 @@ fn more_mshrs_never_slow_down() {
         let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
-        let m1 = Simulator::new(&p, base.with_mshrs(1))
+        let m1 = Simulator::with_config(&p, base.with_mshrs(1))
             .run()
             .unwrap()
             .metrics
             .cycles;
-        let m6 = Simulator::new(&p, base.with_mshrs(6))
+        let m6 = Simulator::with_config(&p, base.with_mshrs(6))
             .run()
             .unwrap()
             .metrics
@@ -94,7 +94,7 @@ fn cycle_accounting_is_complete() {
         let seed = rng.range_u64(0, 100);
         // Interlocks + penalties never exceed total cycles.
         let p = stream(n, seed);
-        let m = Simulator::new(&p, SimConfig::default())
+        let m = Simulator::with_config(&p, SimConfig::default())
             .run()
             .unwrap()
             .metrics;

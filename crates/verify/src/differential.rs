@@ -14,9 +14,13 @@
 //!   the retained naive reference
 //!   ([`bsched_core::compute_weights_reference`]); all three must agree
 //!   bit for bit.
+//! * **Engines** — the compiled program is simulated under both
+//!   [`SimEngine`]s; metrics and memory checksum must be bit-identical
+//!   ([`check_engines`]).
 
 use bsched_core::{compute_weights, compute_weights_reference, ScheduleAudit};
 use bsched_ir::{Dag, ExecError, Interp, Program};
+use bsched_sim::{SimConfig, SimEngine, SimMetrics, Simulator};
 use std::fmt;
 
 /// One differential divergence.
@@ -29,6 +33,17 @@ pub enum DiffViolation {
         baseline: u64,
         /// FNV-1a checksum of the compiled program's memory image.
         compiled: u64,
+    },
+    /// The two simulation engines disagree on the same compiled program
+    /// (they must be bit-identical in every observable).
+    EngineDiverged {
+        /// The first observable that diverged (`"checksum"`, `"cycles"`,
+        /// `"mem"`, …).
+        field: &'static str,
+        /// Its value under [`SimEngine::Interpret`], `Debug`-rendered.
+        interpret: String,
+        /// Its value under [`SimEngine::BlockCompiled`], `Debug`-rendered.
+        block: String,
     },
     /// A region's scheduler weights disagree with a reference
     /// recomputation.
@@ -53,6 +68,15 @@ impl fmt::Display for DiffViolation {
                 f,
                 "compiled program diverged from the unoptimized baseline: \
                  checksum {compiled:#018x} vs {baseline:#018x}"
+            ),
+            DiffViolation::EngineDiverged {
+                field,
+                interpret,
+                block,
+            } => write!(
+                f,
+                "simulation engines diverged on {field}: \
+                 interpret produced {interpret}, block produced {block}"
             ),
             DiffViolation::WeightsDiverged {
                 region,
@@ -107,6 +131,85 @@ pub fn check_checksum_with_fuel(
     Ok(violations)
 }
 
+/// Simulates `compiled` under both engines and reports any observable
+/// divergence. The engines must agree bit for bit on every metric and
+/// on the final memory checksum; the first differing field is reported
+/// (one violation keeps reports readable — the engines either agree
+/// everywhere or have a structural bug).
+///
+/// # Errors
+///
+/// Propagates [`ExecError`]s if either engine fails to execute. An
+/// *asymmetric* failure (one engine errors, the other does not) is
+/// itself a divergence, reported as a violation rather than an error.
+pub fn check_engines(
+    compiled: &Program,
+    config: SimConfig,
+) -> Result<Vec<DiffViolation>, ExecError> {
+    let run = |engine| {
+        Simulator::with_config(compiled, config)
+            .with_engine(engine)
+            .run()
+    };
+    let (interp, block) = match (run(SimEngine::Interpret), run(SimEngine::BlockCompiled)) {
+        (Ok(i), Ok(b)) => (i, b),
+        (Err(e), Err(_)) => return Err(e),
+        (i, b) => {
+            let render = |r: &Result<_, ExecError>| match r {
+                Ok(_) => "success".to_string(),
+                Err(e) => format!("error ({e})"),
+            };
+            return Ok(vec![DiffViolation::EngineDiverged {
+                field: "outcome",
+                interpret: render(&i),
+                block: render(&b),
+            }]);
+        }
+    };
+    let mut violations = Vec::new();
+    if let Some((field, iv, bv)) = first_metric_diff(&interp.metrics, &block.metrics) {
+        violations.push(DiffViolation::EngineDiverged {
+            field,
+            interpret: iv,
+            block: bv,
+        });
+    } else if interp.checksum != block.checksum {
+        violations.push(DiffViolation::EngineDiverged {
+            field: "checksum",
+            interpret: format!("{:#018x}", interp.checksum),
+            block: format!("{:#018x}", block.checksum),
+        });
+    }
+    Ok(violations)
+}
+
+/// The first field of [`SimMetrics`] on which the two runs disagree.
+fn first_metric_diff(i: &SimMetrics, b: &SimMetrics) -> Option<(&'static str, String, String)> {
+    macro_rules! diff {
+        ($($field:ident),+ $(,)?) => {
+            $(if i.$field != b.$field {
+                return Some((
+                    stringify!($field),
+                    format!("{:?}", i.$field),
+                    format!("{:?}", b.$field),
+                ));
+            })+
+        };
+    }
+    diff!(
+        cycles,
+        insts,
+        load_interlock,
+        fixed_interlock,
+        branch_penalty,
+        store_stall,
+        fetch_stall,
+        tlb_stall,
+        mem,
+    );
+    None
+}
+
 /// Recomputes every audited region's weights with both implementations
 /// and reports any disagreement with the weights the scheduler ran on.
 #[must_use]
@@ -145,6 +248,25 @@ mod tests {
         let compiled = session.compile().unwrap();
         let v = check_checksum(session.source(), &compiled.program).unwrap();
         assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn engines_agree_on_a_real_cell() {
+        let session = Experiment::builder().kernel("TRFD").build().unwrap();
+        let compiled = session.compile().unwrap();
+        let v = check_engines(&compiled.program, session.options().sim).unwrap();
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn metric_diff_names_the_first_diverging_field() {
+        let a = bsched_sim::SimMetrics::default();
+        let mut b = a.clone();
+        b.load_interlock = 7;
+        let (field, iv, bv) = first_metric_diff(&a, &b).unwrap();
+        assert_eq!(field, "load_interlock");
+        assert_eq!((iv.as_str(), bv.as_str()), ("0", "7"));
+        assert_eq!(first_metric_diff(&a, &a.clone()), None);
     }
 
     #[test]

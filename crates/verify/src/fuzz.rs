@@ -1,12 +1,13 @@
 //! A seeded pipeline fuzzer.
 //!
 //! Each iteration generates a random loop-language kernel, picks a random
-//! (optimization level × scheduler) point, and pushes the program through
-//! the whole stack: compile with a schedule audit, prove every region's
-//! schedule legal, cross-check the scheduler weights against both
-//! reference implementations, replay optimized vs unoptimized code
-//! through the interpreter under a fuel budget, then simulate and check
-//! the metamorphic invariants.
+//! (optimization level × scheduler × simulation engine) point, and pushes
+//! the program through the whole stack: compile with a schedule audit,
+//! prove every region's schedule legal, cross-check the scheduler weights
+//! against both reference implementations, replay optimized vs
+//! unoptimized code through the interpreter under a fuel budget,
+//! cross-check the two simulation engines against each other, then
+//! simulate under the drawn engine and check the metamorphic invariants.
 //!
 //! Failures shrink greedily — statements are dropped and loop bounds
 //! halved while the failure persists — and the minimal reproducer is
@@ -15,11 +16,11 @@
 //! seed always generates the same kernels, the same grid points, and the
 //! same reproducer.
 
-use crate::differential::{check_checksum_with_fuel, check_weights};
+use crate::differential::{check_checksum_with_fuel, check_engines, check_weights};
 use crate::legality::validate_region_schedule;
 use crate::metamorphic::check_metrics;
 use bsched_core::SchedulerKind;
-use bsched_pipeline::{Experiment, OptLevel};
+use bsched_pipeline::{Experiment, OptLevel, SimEngine};
 use bsched_util::Prng;
 use bsched_workloads::lang::{print_kernel, ArrId, ArrayInit, CmpOp, Expr, Index, Kernel, Stmt, VarId};
 use std::time::{Duration, Instant};
@@ -106,6 +107,7 @@ struct Case {
     stmts: Vec<Stmt>,
     level: OptLevel,
     scheduler: SchedulerKind,
+    engine: SimEngine,
 }
 
 impl Case {
@@ -278,23 +280,33 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
     }
     let level = OptLevel::ALL[rng.index(OptLevel::ALL.len())];
     let scheduler = SchedulerKind::ALL[rng.index(SchedulerKind::ALL.len())];
+    // Drawn last so adding the engine axis left every earlier draw — and
+    // hence every kernel a given seed generates — unchanged.
+    let engine = SimEngine::ALL[rng.index(SimEngine::ALL.len())];
     Case {
         decls,
         pinned,
         stmts,
         level,
         scheduler,
+        engine,
     }
 }
 
 /// Runs every conformance check on one kernel at one grid point,
 /// returning human-readable messages for whatever fails.
-fn check_kernel(kernel: &Kernel, level: OptLevel, scheduler: SchedulerKind) -> Vec<String> {
+fn check_kernel(
+    kernel: &Kernel,
+    level: OptLevel,
+    scheduler: SchedulerKind,
+    engine: SimEngine,
+) -> Vec<String> {
     let mut messages = Vec::new();
     let session = match Experiment::builder()
         .program(kernel.name(), kernel.lower())
         .opts(level)
         .scheduler(scheduler)
+        .engine(engine)
         .build()
     {
         Ok(s) => s,
@@ -321,6 +333,10 @@ fn check_kernel(kernel: &Kernel, level: OptLevel, scheduler: SchedulerKind) -> V
         match check_checksum_with_fuel(session.source(), &compiled.program, FUZZ_FUEL) {
             Ok(vs) => messages.extend(vs.iter().map(ToString::to_string)),
             Err(e) => messages.push(format!("interpreter error: {e}")),
+        }
+        match check_engines(&compiled.program, session.options().sim) {
+            Ok(vs) => messages.extend(vs.iter().map(ToString::to_string)),
+            Err(e) => messages.push(format!("simulator error: {e}")),
         }
     }
     match session.run() {
@@ -415,17 +431,22 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         // randomness) can never desynchronize later iterations.
         let mut case_rng = rng.fork();
         let case = gen_case(&mut case_rng, iteration);
-        let messages = check_kernel(&case.kernel(), case.level, case.scheduler);
+        let messages = check_kernel(&case.kernel(), case.level, case.scheduler, case.engine);
         if !messages.is_empty() {
+            // Shrinking replays the checks under the case's own engine,
+            // so an engine-specific failure stays reproducible while it
+            // shrinks.
             let minimal = shrink_stmts(case.stmts.clone(), &mut |stmts| {
-                !check_kernel(&case.kernel_with(stmts), case.level, case.scheduler).is_empty()
+                !check_kernel(&case.kernel_with(stmts), case.level, case.scheduler, case.engine)
+                    .is_empty()
             });
             let kernel = case.kernel_with(&minimal);
-            let messages = check_kernel(&kernel, case.level, case.scheduler);
+            let messages = check_kernel(&kernel, case.level, case.scheduler, case.engine);
             let session = Experiment::builder()
                 .program(kernel.name(), kernel.lower())
                 .opts(case.level)
                 .scheduler(case.scheduler)
+                .engine(case.engine)
                 .build()
                 .expect("program supplied directly");
             report.failures.push(FuzzFailure {
@@ -433,10 +454,11 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 label: session.label(),
                 messages,
                 reproducer: format!(
-                    "// seed {:#x} iteration {iteration}: {:?} x {:?}\n{}",
+                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine\n{}",
                     config.seed,
                     case.level,
                     case.scheduler,
+                    case.engine,
                     print_kernel(&kernel)
                 ),
             });
@@ -457,6 +479,7 @@ mod tests {
         assert_eq!(print_kernel(&k1.kernel()), print_kernel(&k2.kernel()));
         assert_eq!(k1.level, k2.level);
         assert_eq!(k1.scheduler, k2.scheduler);
+        assert_eq!(k1.engine, k2.engine);
         let k3 = gen_case(&mut Prng::new(43), 7);
         assert_ne!(print_kernel(&k1.kernel()), print_kernel(&k3.kernel()));
     }

@@ -9,8 +9,10 @@
 //!   dependence edge and the issue-latency floor.
 //! * [`differential`] — the differential oracle. Replays optimized code
 //!   through the reference interpreter against the unoptimized baseline,
-//!   and recomputes scheduler weights with both the bitset kernel and
-//!   the retained naive implementation.
+//!   recomputes scheduler weights with both the bitset kernel and
+//!   the retained naive implementation, and simulates the compiled
+//!   program under both engines (interpreting and block-compiled),
+//!   which must agree bit for bit.
 //! * [`metamorphic`] — invariants every simulated run must satisfy:
 //!   cycle accounting, cache-stats conservation, and all-hit
 //!   balanced/traditional closeness.
@@ -30,7 +32,9 @@ pub mod fuzz;
 pub mod legality;
 pub mod metamorphic;
 
-pub use differential::{check_checksum, check_checksum_with_fuel, check_weights, DiffViolation};
+pub use differential::{
+    check_checksum, check_checksum_with_fuel, check_engines, check_weights, DiffViolation,
+};
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use legality::{
     assign_issue_cycles, check_issue_cycles, min_edge_latency, validate_region,
@@ -66,8 +70,9 @@ impl CellVerification {
 /// point: recompile with a schedule audit, prove every region's schedule
 /// legal, cross-check the weights against both reference
 /// implementations, replay optimized vs unoptimized code through the
-/// interpreter, and check the metamorphic invariants on `metrics` (the
-/// simulated run the caller already has).
+/// interpreter, simulate the compiled program under both engines (which
+/// must agree bit for bit), and check the metamorphic invariants on
+/// `metrics` (the simulated run the caller already has).
 #[must_use]
 pub fn verify_cell(
     program: &Program,
@@ -95,6 +100,10 @@ pub fn verify_cell(
             match differential::check_checksum(session.source(), &compiled.program) {
                 Ok(vs) => violations.extend(vs.iter().map(ToString::to_string)),
                 Err(e) => violations.push(format!("interpreter error: {e}")),
+            }
+            match differential::check_engines(&compiled.program, options.sim) {
+                Ok(vs) => violations.extend(vs.iter().map(ToString::to_string)),
+                Err(e) => violations.push(format!("simulator error: {e}")),
             }
         }
         Err(e) => violations.push(format!("audited recompile failed: {e}")),

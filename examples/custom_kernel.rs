@@ -84,7 +84,7 @@ fn main() {
         "register allocation: {} assigned, {} spilled",
         alloc.assigned, alloc.spilled
     );
-    let sim = Simulator::new(&program, SimConfig::default())
+    let sim = Simulator::with_config(&program, SimConfig::default())
         .run()
         .expect("simulates");
     assert_eq!(sim.checksum, reference.checksum, "same observable memory");

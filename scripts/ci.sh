@@ -49,6 +49,35 @@ grep "verification:" "$VERIFY_ERR" || { echo "FAIL: no verification report"; exi
 grep -q "verification: .* 0 violations" "$VERIFY_ERR" \
     || { cat "$VERIFY_ERR"; echo "FAIL: violations found"; exit 1; }
 
+echo "== smoke: dual-engine verified run (interpret vs block), uncached =="
+# The engine knob end to end: the same verified 2-kernel subset under
+# each simulation engine with the cache disabled, so both engines
+# genuinely execute every cell. Stdout must be byte-identical to the
+# cached default-engine run above, zero violations, and the stderr run
+# report must name the engine that ran.
+for eng in interpret block; do
+    ENG_ERR="$SMOKE_CACHE/engine.$eng.err"
+    engined="$(BSCHED_NO_CACHE=1 BSCHED_SIM_ENGINE="$eng" \
+        ./target/release/all_experiments --verify --kernels ARC2D,TRFD 2>"$ENG_ERR")" \
+        || { cat "$ENG_ERR"; echo "FAIL: $eng engine run"; exit 1; }
+    [ "$engined" = "$cold" ] \
+        || { echo "FAIL: $eng engine changed stdout"; exit 1; }
+    grep -q "verification: .* 0 violations" "$ENG_ERR" \
+        || { cat "$ENG_ERR"; echo "FAIL: $eng engine violations"; exit 1; }
+    grep -q "engine: $eng" "$ENG_ERR" \
+        || { cat "$ENG_ERR"; echo "FAIL: run report must name engine $eng"; exit 1; }
+done
+
+echo "== smoke: simulator microbench vs recorded BENCH_pr7.json baseline =="
+# Re-measures the interpreting vs block-compiled engine on the
+# per-kernel cells and fails if any case's speedup ratio fell below
+# half the committed baseline (ratios, not wall times; the generous
+# floor catches the block engine silently degenerating toward 1x, not
+# scheduler jitter — the full-grid case needs --grid and is recorded
+# in the committed BENCH_pr7.json).
+cargo bench -q -p bsched-bench --bench simulator -- \
+    --check "$PWD/BENCH_pr7.json" --check-ratio 0.5
+
 echo "== smoke: weights microbench vs recorded BENCH_pr2.json baseline =="
 # Re-measures the naive-reference vs bitset-kernel arms, writes a fresh
 # BENCH_pr2.json next to the cache dir, and fails if any case's speedup
