@@ -18,6 +18,16 @@
 //! byte-identical output either way; unknown names are rejected with
 //! the valid choices and exit code 2.
 //!
+//! `--sample` (or `--sample=SPEC`, or `BSCHED_SAMPLE=SPEC`) switches
+//! execution to sampled simulation: cycle-level metrics become
+//! estimates extrapolated from representative intervals (instruction
+//! counts and checksums stay exact; see DESIGN.md §13). Like the engine
+//! axis the mode is execution-only — it never enters a cache key — but
+//! sampled results live in their own store and never touch the exact
+//! caches. A bare `--sample` uses the default configuration; a spec
+//! like `k=8,interval=1000` overrides it. Invalid specs are rejected
+//! with the valid format and exit code 2.
+//!
 //! `--verify` runs the `bsched-verify` conformance suite on every
 //! executed cell (schedule legality, weight cross-check, differential
 //! replay, engine cross-check, metamorphic invariants);
@@ -47,6 +57,13 @@ fn parse_engine(raw: &str) -> bsched_pipeline::SimEngine {
     })
 }
 
+fn parse_sample(raw: &str) -> bsched_pipeline::SampleConfig {
+    raw.trim().parse().unwrap_or_else(|e| {
+        eprintln!("--sample: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn parse_kernel_list(raw: &str) -> Vec<String> {
     if raw.trim().is_empty() {
         eprintln!(
@@ -62,6 +79,7 @@ struct Cli {
     csv: bool,
     verify: bool,
     engine: Option<bsched_pipeline::SimEngine>,
+    sample: Option<bsched_pipeline::SampleConfig>,
     filter: Option<Vec<String>>,
     fuzz: Option<u64>,
     fuzz_seed: u64,
@@ -93,6 +111,7 @@ fn parse_args(args: &[String]) -> Cli {
         csv: false,
         verify: false,
         engine: None,
+        sample: None,
         filter: None,
         fuzz: None,
         fuzz_seed: 0xB5ED,
@@ -131,6 +150,10 @@ fn parse_args(args: &[String]) -> Cli {
             i += 1;
         } else if let Some(v) = a.strip_prefix("--engine=") {
             cli.engine = Some(parse_engine(v));
+        } else if a == "--sample" {
+            cli.sample = Some(bsched_pipeline::SampleConfig::default());
+        } else if let Some(v) = a.strip_prefix("--sample=") {
+            cli.sample = Some(parse_sample(v));
         } else if a == "--kernels" {
             cli.filter = Some(parse_kernel_list(&value(i, "--kernels")));
             i += 1;
@@ -248,6 +271,10 @@ fn main() {
     engine_cfg.verify = engine_cfg.verify || cli.verify;
     if let Some(engine) = cli.engine {
         engine_cfg.sim_engine = engine; // the flag beats BSCHED_SIM_ENGINE
+    }
+    if let Some(sample) = cli.sample {
+        // The flag beats BSCHED_SAMPLE.
+        engine_cfg.sim_mode = bsched_pipeline::SimMode::Sampled(sample);
     }
     let grid = Grid::with_engine(Engine::with_standard_kernels(engine_cfg));
     let configs = standard_grid();

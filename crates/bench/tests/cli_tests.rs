@@ -176,6 +176,95 @@ fn invalid_bsched_sim_engine_fails_loudly_instead_of_degrading() {
     }
 }
 
+#[test]
+fn invalid_sample_specs_are_rejected_with_the_valid_format() {
+    for arg in ["--sample=bogus", "--sample=k=0", "--sample=interval=0", "--sample="] {
+        let out = all_experiments().arg(arg).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{arg:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--sample"), "{arg:?} must name the flag: {err}");
+        assert!(
+            err.contains("comma-separated k=") && err.contains("interval="),
+            "{arg:?} must list the valid spec: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{arg:?} must not start the grid");
+    }
+}
+
+#[test]
+fn invalid_bsched_sample_fails_loudly_instead_of_degrading() {
+    for bad in ["nope", "k=0", "reps=0", "k=banana"] {
+        let out = all_experiments()
+            .args(["--kernels", "TRFD"])
+            .env("BSCHED_SAMPLE", bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "BSCHED_SAMPLE={bad:?} must exit 2, not fall back to exact mode silently"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid BSCHED_SAMPLE"), "{bad:?}: {err}");
+        assert!(
+            err.contains("comma-separated k=") && err.contains("interval="),
+            "{bad:?} must list the valid spec: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{bad:?} must not start the grid");
+    }
+}
+
+/// The mode axis is execution-only and *not* metrics-invariant, so
+/// sampled runs must live entirely outside the exact-result cache: a
+/// warm exact cache must not answer a sampled run, and a sampled run
+/// must not poison the cache for the exact run that follows it.
+#[test]
+fn sampled_runs_never_touch_the_exact_result_cache() {
+    let cache = std::env::temp_dir().join(format!("bsched-sample-cache-{}", std::process::id()));
+    let run = |extra: &[&str]| {
+        let mut cmd = all_experiments();
+        cmd.args(["--kernels", "TRFD"])
+            .args(extra)
+            .env("BSCHED_JOBS", "2")
+            .env("BSCHED_CACHE_DIR", &cache);
+        cmd.output().unwrap()
+    };
+    let warm = run(&[]);
+    let sampled = run(&["--sample"]);
+    let exact_again = run(&[]);
+    std::fs::remove_dir_all(&cache).ok();
+    for (name, out) in [("warm", &warm), ("sampled", &sampled), ("exact-again", &exact_again)] {
+        assert!(
+            out.status.success(),
+            "{name} run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let err = String::from_utf8_lossy(&sampled.stderr);
+    assert!(
+        err.contains("0 memory hits, 0 disk hits, 15 executed (0% cache hits)"),
+        "the sampled run must not be answered from the exact-warmed cache: {err}"
+    );
+    assert!(err.contains("sampling: "), "sampled report section missing: {err}");
+    assert!(err.contains("mode: sampled("), "sampled mode line missing: {err}");
+    // The sampled run left no droppings: the follow-up exact run is
+    // answered entirely from the original warm entries and prints the
+    // same bytes.
+    let err = String::from_utf8_lossy(&exact_again.stderr);
+    assert!(
+        err.contains(" 0 executed (100% cache hits)"),
+        "the exact re-run must still fully hit the warm cache: {err}"
+    );
+    assert_eq!(
+        warm.stdout, exact_again.stdout,
+        "the sampled run must not alter cached exact results"
+    );
+    assert_ne!(
+        sampled.stdout, warm.stdout,
+        "sanity: the sampled table is an estimate, not a cache readback"
+    );
+}
+
 /// The engine axis is execution-only: it is not part of any cache key,
 /// so a cache warmed under one engine must be answered entirely from
 /// disk under the other — and print the same bytes.

@@ -92,3 +92,97 @@ golden!(table8);
 golden!(table9);
 golden!(sec55);
 golden!(superscalar);
+
+/// Like [`run_under`] with explicit extra args and env (for the
+/// sampled-mode snapshots below).
+fn run_with(name: &str, exe: &str, root: &PathBuf, args: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(exe);
+    cmd.current_dir(root).args(args).env("BSCHED_NO_CACHE", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("{name} failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn check_against(name: &str, root: &PathBuf, stdout: &str) -> String {
+    let golden = root.join("tests/golden").join(format!("{name}.txt"));
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, stdout).unwrap();
+        return stdout.to_string();
+    }
+    let want = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {}; capture it with UPDATE_GOLDEN=1 \
+             cargo test -p bsched-bench --test golden_stdout",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        stdout, &want,
+        "{name} stdout diverged from tests/golden/{name}.txt; if the \
+         change is intentional, refresh with UPDATE_GOLDEN=1"
+    );
+    want
+}
+
+/// Sampled estimates are deterministic (seeded clustering, deterministic
+/// replay), so sampled stdout is snapshot-able like everything else —
+/// and must not depend on whether the mode came from the flag or the
+/// environment, or on which exact engine backs the plan build.
+#[test]
+fn all_experiments_sampled() {
+    let root = workspace_root();
+    let exe = env!("CARGO_BIN_EXE_all_experiments");
+    let args = ["--sample", "--kernels", "TRFD,ARC2D"];
+    let flagged = run_with("all_experiments_sampled", exe, &root, &args, &[]);
+    let want = check_against("all_experiments_sampled", &root, &flagged);
+    let from_env = run_with(
+        "all_experiments_sampled (env)",
+        exe,
+        &root,
+        &["--kernels", "TRFD,ARC2D"],
+        &[("BSCHED_SAMPLE", "1")],
+    );
+    assert_eq!(from_env, want, "BSCHED_SAMPLE=1 must match --sample byte for byte");
+    let interp = run_with(
+        "all_experiments_sampled (interpret)",
+        exe,
+        &root,
+        &args,
+        &[("BSCHED_SIM_ENGINE", "interpret")],
+    );
+    assert_eq!(interp, want, "sampled stdout must not depend on the exact engine");
+}
+
+/// With sampling compiled in but *disabled*, exact stdout is pinned: the
+/// mode axis must be invisible until asked for, in any spelling of
+/// "off".
+#[test]
+fn all_experiments_exact_stdout_is_unchanged_with_sampling_disabled() {
+    let root = workspace_root();
+    let exe = env!("CARGO_BIN_EXE_all_experiments");
+    let args = ["--kernels", "TRFD,ARC2D"];
+    let plain = run_with("all_experiments_exact", exe, &root, &args, &[]);
+    let want = check_against("all_experiments_exact", &root, &plain);
+    for off in ["0", "off", "false", ""] {
+        let disabled = run_with(
+            "all_experiments_exact (disabled)",
+            exe,
+            &root,
+            &args,
+            &[("BSCHED_SAMPLE", off)],
+        );
+        assert_eq!(
+            disabled, want,
+            "BSCHED_SAMPLE={off:?} must leave exact stdout byte-identical"
+        );
+    }
+}

@@ -8,7 +8,7 @@ use crate::report::{CellTiming, RunReport};
 use crate::store::ResultStore;
 use bsched_ir::Program;
 use bsched_pipeline::Experiment;
-use bsched_sim::{SimEngine, SimMetrics};
+use bsched_sim::{SampleConfig, SimEngine, SimMetrics, SimMode};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -76,6 +76,12 @@ pub struct EngineConfig {
     /// part of any cache key: a cache warmed under one engine is 100%
     /// hits under the other.
     pub sim_engine: SimEngine,
+    /// Whether cells run exactly or sampled ([`SimMode`]). Like the
+    /// engine axis this is an execution detail, never part of a cache
+    /// key — but unlike the engine axis it is *not* metrics-invariant,
+    /// so sampled results live in a separate in-memory store and never
+    /// touch the exact stores (memory or disk) in either direction.
+    pub sim_mode: SimMode,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +92,7 @@ impl Default for EngineConfig {
             cache_dir: PathBuf::from("results/cache"),
             verify: false,
             sim_engine: SimEngine::default(),
+            sim_mode: SimMode::Exact,
         }
     }
 }
@@ -106,7 +113,10 @@ impl EngineConfig {
     /// * `BSCHED_VERIFY=1` — run the conformance suite on every
     ///   executed cell,
     /// * `BSCHED_SIM_ENGINE=<interpret|block>` — simulation engine
-    ///   (default `block`; results are bit-identical either way).
+    ///   (default `block`; results are bit-identical either way),
+    /// * `BSCHED_SAMPLE=<spec>` — sampled execution mode; `1`/`on`/
+    ///   `default` for the default [`SampleConfig`], or a spec like
+    ///   `k=8,interval=1000` (`0`/`off`/`false` keep exact mode).
     ///
     /// Invalid values exit the process with code 2 and a clear message
     /// rather than degrading silently — a typo'd `BSCHED_JOBS=32x` on a
@@ -131,8 +141,9 @@ impl EngineConfig {
     /// # Errors
     ///
     /// `BSCHED_JOBS` that is not a positive integer, an empty
-    /// `BSCHED_CACHE_DIR`, or a `BSCHED_SIM_ENGINE` naming no known
-    /// engine.
+    /// `BSCHED_CACHE_DIR`, a `BSCHED_SIM_ENGINE` naming no known
+    /// engine, or a `BSCHED_SAMPLE` that parses as neither a sampling
+    /// spec nor an off switch.
     pub fn try_from_env() -> Result<Self, String> {
         let mut cfg = EngineConfig::default();
         if let Ok(v) = std::env::var("BSCHED_JOBS") {
@@ -176,6 +187,15 @@ impl EngineConfig {
                 }
             }
         }
+        if let Ok(v) = std::env::var("BSCHED_SAMPLE") {
+            match v.trim() {
+                "" | "0" | "off" | "false" => {}
+                spec => match spec.parse::<SampleConfig>() {
+                    Ok(sample) => cfg.sim_mode = SimMode::Sampled(sample),
+                    Err(e) => return Err(format!("invalid BSCHED_SAMPLE: {e}")),
+                },
+            }
+        }
         Ok(cfg)
     }
 
@@ -213,6 +233,13 @@ impl EngineConfig {
         self.sim_engine = engine;
         self
     }
+
+    /// Overrides the simulation mode.
+    #[must_use]
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
+        self
+    }
 }
 
 /// The engine: kernels, cache layers, pool, and report state.
@@ -221,6 +248,11 @@ pub struct Engine {
     index: HashMap<String, usize>,
     config: EngineConfig,
     store: ResultStore,
+    /// Estimates from sampled runs. Kept apart from `store` because the
+    /// mode axis is not metrics-invariant: a sampled result must never
+    /// satisfy an exact lookup (or vice versa), and sampled results
+    /// never reach the disk cache at all.
+    sampled_store: ResultStore,
     disk: DiskCache,
     report: Mutex<RunReport>,
 }
@@ -247,9 +279,14 @@ impl Engine {
             .map(|(i, (name, _))| (name.clone(), i))
             .collect();
         let disk = DiskCache::new(&config.cache_dir, config.disk_cache);
+        let sim_mode = match config.sim_mode {
+            SimMode::Exact => "exact".to_string(),
+            SimMode::Sampled(s) => format!("sampled({s})"),
+        };
         let report = RunReport {
             workers: config.jobs,
             sim_engine: config.sim_engine.label().to_string(),
+            sim_mode,
             ..RunReport::default()
         };
         Engine {
@@ -257,6 +294,7 @@ impl Engine {
             index,
             config,
             store: ResultStore::new(),
+            sampled_store: ResultStore::new(),
             disk,
             report: Mutex::new(report),
         }
@@ -286,9 +324,19 @@ impl Engine {
 
     /// The in-memory memo layer (sharded; see [`crate::store`]).
     /// `bsched-serve` reads its hit/miss counters for warm-cache stats.
+    /// Exact results only — sampled runs use a separate store.
     #[must_use]
     pub fn store(&self) -> &ResultStore {
         &self.store
+    }
+
+    /// The store the configured [`SimMode`] reads and writes.
+    fn active_store(&self) -> &ResultStore {
+        if self.config.sim_mode.is_sampled() {
+            &self.sampled_store
+        } else {
+            &self.store
+        }
     }
 
     /// Kernel names, in workload order.
@@ -333,20 +381,24 @@ impl Engine {
         // Layer 1/2: memory, then disk. A verifying run only accepts
         // cached results whose conformance suite passed at compute time;
         // anything else is recomputed (and re-verified) as a miss.
+        // Sampled mode reads and writes only its own memory store — the
+        // disk layer holds exact results exclusively.
+        let sampled = self.config.sim_mode.is_sampled();
+        let store = self.active_store();
         let mut misses: Vec<&ExperimentCell> = Vec::new();
         let mut memory_hits = 0u64;
         let mut disk_hits = 0u64;
         let mut verified = 0u64;
         let usable = |r: &CellResult| !verify || r.verified;
         for &cell in &unique {
-            let hit = if let Some(r) = self.store.get(cell) {
+            let hit = if let Some(r) = store.get(cell) {
                 usable(&r) && {
                     memory_hits += 1;
                     true
                 }
-            } else if let Some(r) = self.disk.load(cell) {
+            } else if let Some(r) = if sampled { None } else { self.disk.load(cell) } {
                 usable(&r) && {
-                    self.store.insert(cell, r);
+                    store.insert(cell, r);
                     disk_hits += 1;
                     true
                 }
@@ -390,8 +442,10 @@ impl Engine {
                         if result.verified {
                             verified += 1;
                         }
-                        self.disk.store(cell, &result);
-                        self.store.insert(cell, result);
+                        if !sampled {
+                            self.disk.store(cell, &result);
+                        }
+                        store.insert(cell, result);
                     }
                     Err(e) => {
                         self.update_report(cells.len() as u64, deduplicated as u64, memory_hits, disk_hits, verified, &timings, Some(&stats));
@@ -422,10 +476,11 @@ impl Engine {
         Ok(())
     }
 
-    /// The memoized result for a cell, if present.
+    /// The memoized result for a cell, if present (from the configured
+    /// mode's store).
     #[must_use]
     pub fn result(&self, cell: &ExperimentCell) -> Option<CellResult> {
-        self.store.get(cell)
+        self.active_store().get(cell)
     }
 
     /// The metrics for a cell, computing it (and anything it needs) on
@@ -435,12 +490,12 @@ impl Engine {
     ///
     /// Propagates [`HarnessError`]s from execution.
     pub fn metrics(&self, cell: &ExperimentCell) -> Result<SimMetrics, HarnessError> {
-        if let Some(r) = self.store.get(cell) {
+        if let Some(r) = self.active_store().get(cell) {
             return Ok(r.metrics);
         }
         self.run(std::slice::from_ref(cell))?;
         Ok(self
-            .store
+            .active_store()
             .get(cell)
             .expect("run() populated the store")
             .metrics)
@@ -452,11 +507,12 @@ impl Engine {
         self.report.lock().expect("report poisoned").clone()
     }
 
-    /// Drops the in-memory layer, keeping the disk cache — the cache
-    /// round-trip tests use this to prove disk hits alone reproduce the
-    /// results.
+    /// Drops the in-memory layers (exact and sampled), keeping the disk
+    /// cache — the cache round-trip tests use this to prove disk hits
+    /// alone reproduce the results.
     pub fn clear_memory(&self) {
         self.store.clear();
+        self.sampled_store.clear();
     }
 
     /// Folds a fuzzing campaign's iteration count into the run report
@@ -473,6 +529,7 @@ impl Engine {
             .program(cell.kernel(), program.clone())
             .compile_options(*cell.options())
             .engine(self.config.sim_engine)
+            .sim_mode(self.config.sim_mode)
             .build()
             .map_err(|e| HarnessError::Cell {
                 cell: cell.to_string(),
@@ -488,8 +545,23 @@ impl Engine {
                 msg: "simulator diverged from the reference interpreter".to_string(),
             });
         }
+        if let Some(stats) = run.sample {
+            let mut r = self.report.lock().expect("report poisoned");
+            r.sample_intervals += stats.intervals;
+            r.sample_clusters += stats.clusters;
+            r.sampled_insts += stats.sampled_insts;
+            r.sample_total_insts += stats.total_insts;
+        }
         let verified = if verify {
-            let v = bsched_verify::verify_cell(program, cell.options(), &run.metrics);
+            // A sampled cell's estimates cannot be judged against exact
+            // metamorphic identities; its suite instead replays the cell
+            // exactly and bounds the estimation error.
+            let v = match self.config.sim_mode {
+                SimMode::Exact => bsched_verify::verify_cell(program, cell.options(), &run.metrics),
+                SimMode::Sampled(s) => {
+                    bsched_verify::verify_cell_sampled(program, cell.options(), s)
+                }
+            };
             if !v.is_clean() {
                 let mut r = self.report.lock().expect("report poisoned");
                 r.violations += v.violations.len() as u64;

@@ -50,6 +50,19 @@ pub struct RunReport {
     /// Label of the simulation engine executing cells (empty when the
     /// engine was never configured, e.g. in unit tests).
     pub sim_engine: String,
+    /// Label of the simulation mode (`exact`, or `sampled(<spec>)`;
+    /// empty when the engine was never configured).
+    pub sim_mode: String,
+    /// Intervals profiled across executed sampled cells.
+    pub sample_intervals: u64,
+    /// Clusters (phases) found across executed sampled cells.
+    pub sample_clusters: u64,
+    /// Retired instructions cycle-simulated across executed sampled
+    /// cells.
+    pub sampled_insts: u64,
+    /// Total retired instructions across executed sampled cells (the
+    /// coverage denominator).
+    pub sample_total_insts: u64,
     /// Busy time per worker, summed over batches.
     pub worker_busy: Vec<Duration>,
     /// Wall time spent inside parallel batches.
@@ -121,9 +134,23 @@ impl RunReport {
                 self.verified, self.violations, self.fuzz_iterations
             );
         }
+        if self.sample_total_insts > 0 {
+            let _ = writeln!(
+                s,
+                "sampling: {} intervals, {} clusters, {}/{} insts cycle-simulated ({:.0}% coverage)",
+                self.sample_intervals,
+                self.sample_clusters,
+                self.sampled_insts,
+                self.sample_total_insts,
+                self.sampled_insts as f64 / self.sample_total_insts as f64 * 100.0
+            );
+        }
         if self.executed > 0 {
             if !self.sim_engine.is_empty() {
                 let _ = writeln!(s, "engine: {}", self.sim_engine);
+            }
+            if !self.sim_mode.is_empty() && self.sim_mode != "exact" {
+                let _ = writeln!(s, "mode: {}", self.sim_mode);
             }
             let total_busy: Duration = self.worker_busy.iter().sum();
             let _ = writeln!(

@@ -32,6 +32,13 @@ pub enum ExecError {
         /// The faulting address.
         addr: u64,
     },
+    /// A sampled-simulation estimator produced a non-finite value for a
+    /// metric. Surfaced as an error (rather than silently rounded) so
+    /// the fuzzer can report estimator bugs.
+    NonFiniteEstimate {
+        /// Which metric went non-finite.
+        metric: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -39,6 +46,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::OutOfFuel { fuel } => write!(f, "instruction budget of {fuel} exhausted"),
             ExecError::WildStore { addr } => write!(f, "store outside memory image at {addr:#x}"),
+            ExecError::NonFiniteEstimate { metric } => {
+                write!(f, "sampled estimator produced a non-finite {metric}")
+            }
         }
     }
 }
@@ -83,7 +93,9 @@ pub struct Outcome {
 
 /// Register file sized for one function: physical slots first, then
 /// virtual. Shared with the timing simulator in `bsched-sim`.
-#[derive(Debug)]
+/// `Clone` so the sampled simulator can checkpoint architectural state
+/// at interval boundaries.
+#[derive(Debug, Clone)]
 pub struct RegFile {
     ints: Vec<i64>,
     floats: Vec<f64>,

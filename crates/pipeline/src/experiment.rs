@@ -36,7 +36,7 @@ use crate::options::CompileOptions;
 use crate::run::{run_impl, RunResult};
 use bsched_core::{SchedulerKind, TieBreak};
 use bsched_ir::Program;
-use bsched_sim::{SimConfig, SimEngine};
+use bsched_sim::{SimConfig, SimEngine, SimMode};
 
 /// A named optimization level: the ILP-increasing transformation sets
 /// evaluated in the paper, with the paper's unroll factors baked in.
@@ -184,6 +184,7 @@ pub struct ExperimentBuilder {
     options_override: Option<CompileOptions>,
     trace: bool,
     engine: SimEngine,
+    sim_mode: SimMode,
 }
 
 /// `ConfigKind` with a `Default`, private to the builder.
@@ -327,6 +328,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Selects exact or sampled simulation for this session's
+    /// [`run`](Session::run) calls (default: [`SimMode::Exact`]).
+    ///
+    /// Like [`engine`](Self::engine) this is an execution axis,
+    /// deliberately *not* part of [`CompileOptions`], so harness cache
+    /// keys are unaffected — but unlike the engine axis it is **not**
+    /// metrics-invariant: sampled runs estimate cycle-level metrics from
+    /// representative intervals (instruction counts and the checksum
+    /// stay exact), so the harness must never let sampled results into
+    /// the exact-result cache.
+    #[must_use]
+    pub fn sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
+        self
+    }
+
     /// Validates the configuration and freezes it into a [`Session`].
     ///
     /// # Errors
@@ -375,6 +392,7 @@ impl ExperimentBuilder {
             options,
             trace: self.trace,
             engine: self.engine,
+            sim_mode: self.sim_mode,
         })
     }
 }
@@ -388,6 +406,7 @@ pub struct Session {
     options: CompileOptions,
     trace: bool,
     engine: SimEngine,
+    sim_mode: SimMode,
 }
 
 impl Session {
@@ -429,6 +448,13 @@ impl Session {
         self.engine
     }
 
+    /// The simulation mode this session runs in (see
+    /// [`ExperimentBuilder::sim_mode`]).
+    #[must_use]
+    pub fn sim_mode(&self) -> SimMode {
+        self.sim_mode
+    }
+
     /// An enable guard when this session is traced, `None` otherwise.
     fn trace_scope(&self) -> Option<bsched_trace::EnableGuard> {
         self.trace.then(bsched_trace::enable_scope)
@@ -442,7 +468,7 @@ impl Session {
     /// Propagates [`PipelineError`]s from compilation and simulation.
     pub fn run(&self) -> Result<RunResult, PipelineError> {
         let _trace = self.trace_scope();
-        run_impl(&self.program, &self.options, self.engine)
+        run_impl(&self.program, &self.options, self.engine, self.sim_mode)
     }
 
     /// Compiles only (no simulation): the full phase order through
@@ -589,6 +615,36 @@ mod tests {
         let b = block.run().unwrap();
         assert_eq!(a.metrics, b.metrics);
         assert!(a.checksum_ok && b.checksum_ok);
+    }
+
+    #[test]
+    fn sim_mode_axis_is_execution_only() {
+        use bsched_sim::SampleConfig;
+        let exact = Experiment::builder().kernel("TRFD").build().unwrap();
+        let sampled = Experiment::builder()
+            .kernel("TRFD")
+            .sim_mode(SimMode::Sampled(SampleConfig::default()))
+            .build()
+            .unwrap();
+        assert_eq!(exact.sim_mode(), SimMode::Exact);
+        assert!(sampled.sim_mode().is_sampled());
+        // The mode is not a compile axis: resolved options (and hence
+        // every harness cache key) are identical either way.
+        assert_eq!(
+            format!("{:?}", exact.options()),
+            format!("{:?}", sampled.options())
+        );
+        // The functional outcome stays exact in sampled mode: counts and
+        // checksum match, and the run records its sampling summary.
+        let e = exact.run().unwrap();
+        let s = sampled.run().unwrap();
+        assert!(e.sample.is_none());
+        let stats = s.sample.expect("sampled run reports stats");
+        assert!(stats.clusters >= 1 && stats.clusters <= stats.intervals);
+        assert!(stats.sampled_insts <= stats.total_insts);
+        assert!(s.checksum_ok);
+        assert_eq!(e.metrics.insts, s.metrics.insts);
+        assert!(s.metrics.cycles > 0);
     }
 
     #[test]

@@ -149,7 +149,12 @@ impl Runner {
         // simulator parameters) can share a label.
         let key = (kernel_name.to_string(), format!("{:?}", config.options()));
         if !self.cache.contains_key(&key) {
-            let result = run_impl(program, &config.options(), bsched_sim::SimEngine::default())?;
+            let result = run_impl(
+                program,
+                &config.options(),
+                bsched_sim::SimEngine::default(),
+                bsched_sim::SimMode::Exact,
+            )?;
             assert!(result.checksum_ok, "simulator diverged on {kernel_name}");
             self.cache.insert(key.clone(), result);
         }

@@ -3,18 +3,23 @@
 use crate::compile::{compile_impl, CompileStats, PipelineError};
 use crate::options::CompileOptions;
 use bsched_ir::{Interp, Program};
-use bsched_sim::{SimEngine, SimMetrics, Simulator};
+use bsched_sim::{SampleStats, SimEngine, SimMetrics, SimMode, Simulator};
 
 /// The result of one end-to-end run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Timing metrics from the 21164-like simulator.
+    /// Timing metrics from the 21164-like simulator (estimates under
+    /// [`SimMode::Sampled`]; instruction counts are always exact).
     pub metrics: SimMetrics,
     /// Compilation statistics.
     pub compile: CompileStats,
     /// `true` when the simulator's final memory matched the reference
     /// interpreter's (always checked; a `false` here is a simulator bug).
+    /// Sampled runs derive their checksum from an exact functional pass,
+    /// so the cross-check holds there too.
     pub checksum_ok: bool,
+    /// Sampling summary when the run was sampled; `None` for exact runs.
+    pub sample: Option<SampleStats>,
 }
 
 /// Compiles `source` under `opts` and runs it on the timing simulator.
@@ -30,7 +35,7 @@ pub fn compile_and_run(
     source: &Program,
     opts: &CompileOptions,
 ) -> Result<RunResult, PipelineError> {
-    run_impl(source, opts, SimEngine::default())
+    run_impl(source, opts, SimEngine::default(), SimMode::Exact)
 }
 
 /// The implementation behind [`compile_and_run`] and
@@ -39,16 +44,19 @@ pub(crate) fn run_impl(
     source: &Program,
     opts: &CompileOptions,
     engine: SimEngine,
+    mode: SimMode,
 ) -> Result<RunResult, PipelineError> {
     let compiled = compile_impl(source, opts)?;
     let reference = Interp::new(source).run()?;
     let sim = Simulator::with_config(&compiled.program, opts.sim)
         .with_engine(engine)
+        .with_mode(mode)
         .run()?;
     Ok(RunResult {
         metrics: sim.metrics,
         compile: compiled.stats,
         checksum_ok: sim.checksum == reference.checksum,
+        sample: sim.sample,
     })
 }
 

@@ -358,6 +358,7 @@ fn run_impl<const WIDE: bool>(
                 let result = SimResult {
                     metrics: m,
                     checksum: mem.checksum(),
+                    sample: None,
                 };
                 return Ok((result, block_cache.stats()));
             }

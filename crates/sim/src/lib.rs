@@ -57,9 +57,11 @@ pub mod config;
 pub mod engine;
 pub mod machine;
 pub mod metrics;
+pub mod sample;
 
 pub use branch::BranchPredictor;
 pub use config::{BranchConfig, SimConfig};
 pub use engine::SimEngine;
 pub use machine::{SimResult, Simulator};
 pub use metrics::{InstCounts, SimMetrics};
+pub use sample::{SampleConfig, SampleStats, SimMode};

@@ -24,6 +24,9 @@ pub struct SimResult {
     pub metrics: SimMetrics,
     /// FNV-1a hash of the final memory image.
     pub checksum: u64,
+    /// Sampling summary when the run was estimated under
+    /// [`crate::SimMode::Sampled`]; `None` for exact runs.
+    pub sample: Option<crate::sample::SampleStats>,
 }
 
 /// Sentinel "not produced by a load" site id.
@@ -53,7 +56,7 @@ pub(crate) fn code_layout(func: &Function) -> (Vec<u64>, u64) {
 /// (`(pc - CODE_BASE) / 4`) of its most recent producing load, or
 /// [`NO_SITE`] for non-load producers.
 #[derive(Debug)]
-struct Scoreboard {
+pub(crate) struct Scoreboard {
     ready_int: Vec<u64>,
     ready_float: Vec<u64>,
     load_site_int: Vec<u32>,
@@ -61,7 +64,7 @@ struct Scoreboard {
 }
 
 impl Scoreboard {
-    fn new(func: &Function) -> Self {
+    pub(crate) fn new(func: &Function) -> Self {
         use bsched_ir::RegClass;
         let ni = bsched_ir::Reg::NUM_PHYS as usize + func.vreg_count(RegClass::Int) as usize;
         let nf = bsched_ir::Reg::NUM_PHYS as usize + func.vreg_count(RegClass::Float) as usize;
@@ -73,7 +76,7 @@ impl Scoreboard {
         }
     }
 
-    fn ready(&self, r: bsched_ir::Reg) -> (u64, u32) {
+    pub(crate) fn ready(&self, r: bsched_ir::Reg) -> (u64, u32) {
         let s = RegFile::slot(r);
         match r.class() {
             bsched_ir::RegClass::Int => (self.ready_int[s], self.load_site_int[s]),
@@ -81,7 +84,7 @@ impl Scoreboard {
         }
     }
 
-    fn set(&mut self, r: bsched_ir::Reg, at: u64, load_site: u32) {
+    pub(crate) fn set(&mut self, r: bsched_ir::Reg, at: u64, load_site: u32) {
         let s = RegFile::slot(r);
         match r.class() {
             bsched_ir::RegClass::Int => {
@@ -152,17 +155,19 @@ pub struct Simulator<'p> {
     program: &'p Program,
     config: SimConfig,
     engine: SimEngine,
+    mode: crate::sample::SimMode,
 }
 
 impl<'p> Simulator<'p> {
     /// Creates a simulator for `program` running on the default engine
-    /// ([`SimEngine::default`]).
+    /// ([`SimEngine::default`]) in exact mode.
     #[must_use]
     pub fn with_config(program: &'p Program, config: SimConfig) -> Self {
         Simulator {
             program,
             config,
             engine: SimEngine::default(),
+            mode: crate::sample::SimMode::default(),
         }
     }
 
@@ -197,6 +202,22 @@ impl<'p> Simulator<'p> {
         self.engine
     }
 
+    /// Selects exact or sampled execution. Unlike the engine axis,
+    /// sampled mode is *not* metrics-invariant: it estimates timing
+    /// metrics from representative intervals (the functional outcome —
+    /// instruction counts and checksum — stays exact).
+    #[must_use]
+    pub fn with_mode(mut self, mode: crate::sample::SimMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The execution mode this simulator will run in.
+    #[must_use]
+    pub fn mode(&self) -> crate::sample::SimMode {
+        self.mode
+    }
+
     /// Runs the program to completion on the timing model.
     ///
     /// # Errors
@@ -205,9 +226,14 @@ impl<'p> Simulator<'p> {
     /// budget is exhausted and [`ExecError::WildStore`] on a store outside
     /// the memory image.
     pub fn run(&self) -> Result<SimResult, ExecError> {
-        match self.engine {
-            SimEngine::Interpret => self.run_interpret(),
-            SimEngine::BlockCompiled => crate::block::run(self.program, self.config),
+        match self.mode {
+            crate::sample::SimMode::Exact => match self.engine {
+                SimEngine::Interpret => self.run_interpret(),
+                SimEngine::BlockCompiled => crate::block::run(self.program, self.config),
+            },
+            crate::sample::SimMode::Sampled(sample) => {
+                crate::sample::run_sampled(self.program, self.config, sample)
+            }
         }
     }
 
@@ -451,6 +477,7 @@ impl<'p> Simulator<'p> {
                     return Ok(SimResult {
                         metrics: m,
                         checksum: mem.checksum(),
+                        sample: None,
                     });
                 }
             };

@@ -1,0 +1,341 @@
+//! Std-only seeded k-means over basic-block vectors.
+//!
+//! The SimPoint recipe (Sherwood et al., ASPLOS 2002) adapted to this
+//! repo's determinism rules: SplitMix64-seeded k-means++ initialisation,
+//! optional random projection of high-dimensional BBVs, Lloyd iterations
+//! with *deterministic tie-breaks* (lowest index wins everywhere), and
+//! one representative interval per non-empty cluster. Equal inputs and
+//! seeds produce bit-identical clusterings on every platform and from
+//! any number of threads — the sampled simulator's reproducibility
+//! hangs off this property.
+
+use bsched_util::Prng;
+
+/// Dimensionality BBVs are randomly projected down to before
+/// clustering, when they are wider than this (SimPoint uses 15).
+pub const PROJECT_DIM: usize = 16;
+
+/// Upper bound on Lloyd iterations; convergence is typical long before.
+const MAX_ITERS: usize = 64;
+
+/// The outcome of clustering `n` intervals into at most `k` phases.
+///
+/// Empty clusters are dropped and the rest re-indexed, so every cluster
+/// in the result has at least one member and exactly one representative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// For each interval, the index of its cluster (`0..k()`).
+    pub assignment: Vec<usize>,
+    /// For each cluster, the index of its representative interval —
+    /// the member closest to the centroid (lowest index on ties).
+    pub reps: Vec<usize>,
+    /// For each cluster, its share of retired instructions in `[0, 1]`.
+    pub weights: Vec<f64>,
+}
+
+impl Clustering {
+    /// Number of (non-empty) clusters.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// Clusters per-interval BBVs into at most `k` phases.
+///
+/// `sizes[i]` is the number of retired instructions in interval `i`;
+/// cluster weights are instruction-weighted. When `k >= bbvs.len()` the
+/// clustering degrades gracefully to one cluster per interval.
+///
+/// # Panics
+///
+/// Panics when `bbvs` is empty, `k == 0`, or `sizes` has a different
+/// length than `bbvs` — the interval profiler never produces those.
+#[must_use]
+pub fn cluster(bbvs: &[Vec<f64>], sizes: &[u64], k: usize, seed: u64) -> Clustering {
+    assert!(!bbvs.is_empty(), "cannot cluster zero intervals");
+    assert!(k >= 1, "cannot cluster into zero clusters");
+    assert_eq!(bbvs.len(), sizes.len());
+    let n = bbvs.len();
+
+    if k >= n {
+        // One cluster per interval: every interval represents itself.
+        let ids: Vec<usize> = (0..n).collect();
+        return finish(ids.clone(), ids, sizes);
+    }
+
+    let points = project(bbvs, seed);
+    let mut rng = Prng::new(seed ^ 0x6b6d_6561_6e73); // "kmeans"
+    let mut centers = init_plus_plus(&points, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..MAX_ITERS {
+        // Assignment step: nearest center, lowest index on ties.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = dist2(p, center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step: centroid means; an empty cluster steals the point
+        // farthest from its current center (lowest index on ties).
+        let mut counts = vec![0usize; k];
+        let mut sums = vec![vec![0.0; points[0].len()]; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = farthest_point(&points, &centers, &assignment, &counts);
+                counts[assignment[far]] -= 1;
+                assignment[far] = c;
+                counts[c] += 1;
+                centers[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (dst, &s) in centers[c].iter_mut().zip(&sums[c]) {
+                    *dst = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Representative: the member closest to its centroid.
+    let mut reps = vec![usize::MAX; k];
+    let mut rep_d = vec![f64::INFINITY; k];
+    for (i, p) in points.iter().enumerate() {
+        let c = assignment[i];
+        let d = dist2(p, &centers[c]);
+        if d < rep_d[c] {
+            rep_d[c] = d;
+            reps[c] = i;
+        }
+    }
+
+    // Drop empty clusters (possible when duplicate points collapse) and
+    // re-index densely.
+    let mut remap = vec![usize::MAX; k];
+    let mut dense_reps = Vec::new();
+    for (c, &r) in reps.iter().enumerate() {
+        if r != usize::MAX {
+            remap[c] = dense_reps.len();
+            dense_reps.push(r);
+        }
+    }
+    let assignment: Vec<usize> = assignment.into_iter().map(|c| remap[c]).collect();
+    finish(assignment, dense_reps, sizes)
+}
+
+/// Builds the final [`Clustering`] with instruction-weighted weights.
+fn finish(assignment: Vec<usize>, reps: Vec<usize>, sizes: &[u64]) -> Clustering {
+    let mut cluster_insts = vec![0u64; reps.len()];
+    for (i, &c) in assignment.iter().enumerate() {
+        cluster_insts[c] += sizes[i];
+    }
+    let total: u64 = cluster_insts.iter().sum();
+    // A program can retire zero instructions (a bare `ret`); weight its
+    // single interval fully rather than dividing by zero.
+    let weights = if total == 0 {
+        let w = 1.0 / reps.len() as f64;
+        vec![w; reps.len()]
+    } else {
+        cluster_insts
+            .iter()
+            .map(|&ci| ci as f64 / total as f64)
+            .collect()
+    };
+    Clustering {
+        assignment,
+        reps,
+        weights,
+    }
+}
+
+/// Random ±1 projection to [`PROJECT_DIM`] dimensions (Achlioptas),
+/// applied only when the BBVs are wider than that. The projection
+/// matrix is derived from `seed`, so it is stable across runs.
+fn project(bbvs: &[Vec<f64>], seed: u64) -> Vec<Vec<f64>> {
+    let dim = bbvs[0].len();
+    if dim <= PROJECT_DIM {
+        return bbvs.to_vec();
+    }
+    let mut rng = Prng::new(seed ^ 0x7072_6f6a); // "proj"
+    let signs: Vec<f64> = (0..dim * PROJECT_DIM)
+        .map(|_| if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    bbvs.iter()
+        .map(|v| {
+            (0..PROJECT_DIM)
+                .map(|j| {
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, &x)| x * signs[i * PROJECT_DIM + j])
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Seeded k-means++ initialisation: first center uniform, each next
+/// center D²-sampled; zero total distance (all points covered) falls
+/// back to the lowest-index uncovered point.
+fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centers = Vec::with_capacity(k);
+    let mut chosen = vec![false; n];
+    let first = rng.range_u64(0, n as u64) as usize;
+    chosen[first] = true;
+    centers.push(points[first].clone());
+
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total > 0.0 {
+            let mut target = rng.next_f64() * total;
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        } else {
+            // All points coincide with a center; take the lowest-index
+            // point not already chosen (duplicates collapse later).
+            (0..n).find(|&i| !chosen[i]).unwrap_or(0)
+        };
+        chosen[next] = true;
+        let c = points[next].clone();
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, &c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centers.push(c);
+    }
+    centers
+}
+
+/// The point farthest from its assigned center among clusters that can
+/// spare a member; lowest index on ties.
+fn farthest_point(
+    points: &[Vec<f64>],
+    centers: &[Vec<f64>],
+    assignment: &[usize],
+    counts: &[usize],
+) -> usize {
+    let mut far = 0usize;
+    let mut far_d = -1.0;
+    for (i, p) in points.iter().enumerate() {
+        if counts[assignment[i]] <= 1 {
+            continue;
+        }
+        let d = dist2(p, &centers[assignment[i]]);
+        if d > far_d {
+            far_d = d;
+            far = i;
+        }
+    }
+    far
+}
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbv(parts: &[f64]) -> Vec<f64> {
+        let total: f64 = parts.iter().sum();
+        parts.iter().map(|&p| p / total).collect()
+    }
+
+    #[test]
+    fn two_obvious_phases_separate() {
+        // Six intervals: three dominated by block 0, three by block 2.
+        let bbvs = vec![
+            bbv(&[9.0, 1.0, 0.0]),
+            bbv(&[0.0, 1.0, 9.0]),
+            bbv(&[8.0, 2.0, 0.0]),
+            bbv(&[0.0, 2.0, 8.0]),
+            bbv(&[9.0, 0.0, 1.0]),
+            bbv(&[1.0, 0.0, 9.0]),
+        ];
+        let sizes = vec![100; 6];
+        let c = cluster(&bbvs, &sizes, 2, 42);
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[0], c.assignment[4]);
+        assert_eq!(c.assignment[1], c.assignment[3]);
+        assert_eq!(c.assignment[1], c.assignment[5]);
+        assert_ne!(c.assignment[0], c.assignment[1]);
+        // The representative of each cluster is a member of it.
+        for (cl, &rep) in c.reps.iter().enumerate() {
+            assert_eq!(c.assignment[rep], cl);
+        }
+    }
+
+    #[test]
+    fn k_at_least_n_gives_one_cluster_per_interval() {
+        let bbvs = vec![bbv(&[1.0, 2.0]), bbv(&[2.0, 1.0])];
+        for k in [2, 3, 100] {
+            let c = cluster(&bbvs, &[10, 30], k, 7);
+            assert_eq!(c.k(), 2);
+            assert_eq!(c.assignment, vec![0, 1]);
+            assert_eq!(c.reps, vec![0, 1]);
+            assert_eq!(c.weights, vec![0.25, 0.75]);
+        }
+    }
+
+    #[test]
+    fn weights_are_instruction_shares() {
+        let bbvs = vec![bbv(&[1.0, 0.0]), bbv(&[1.0, 0.1]), bbv(&[0.0, 1.0])];
+        let c = cluster(&bbvs, &[300, 100, 600], 2, 1);
+        let sum: f64 = c.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "{sum}");
+        assert!(c.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn zero_size_intervals_do_not_divide_by_zero() {
+        let c = cluster(&[vec![1.0]], &[0], 1, 0);
+        assert_eq!(c.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_applied_when_wide() {
+        let wide: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..40).map(|j| ((i * 7 + j) % 5) as f64).collect())
+            .collect();
+        let a = project(&wide, 9);
+        let b = project(&wide, 9);
+        assert_eq!(a, b);
+        assert_eq!(a[0].len(), PROJECT_DIM);
+        let narrow = project(&[vec![1.0, 2.0]], 9);
+        assert_eq!(narrow[0].len(), 2);
+    }
+}

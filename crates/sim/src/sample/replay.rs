@@ -1,0 +1,248 @@
+//! Cycle-accurate replay of one representative interval.
+//!
+//! A trimmed copy of the interpreting engine's inner loop
+//! (`crate::machine`): same scoreboard, issue-group, interlock, and
+//! memory-hierarchy behaviour, but bounded by a block-execution count
+//! instead of fuel, with no tracing or per-site attribution. The replay
+//! runs *in place* on the plan-construction pass's live architectural
+//! and warm state — it both measures the interval and fast-forwards
+//! through it — and returns the successor block so the caller's
+//! functional warming can continue where the interval ended.
+
+use crate::branch::BranchPredictor;
+use crate::config::SimConfig;
+use crate::machine::{Scoreboard, CODE_BASE, NO_SITE};
+use crate::metrics::SimMetrics;
+use bsched_ir::{
+    interp::{MemImage, RegFile},
+    BlockId, ExecError, Function, Op, Terminator, Value,
+};
+use bsched_mem::Hierarchy;
+use bsched_mem::MemStats;
+
+/// Replays `n_blocks` block executions starting at `start_block`,
+/// returning the *interval-local* timing metrics (cycle and stall deltas
+/// plus the memory-stat delta; instruction counts are left zero — the
+/// plan's exact profile supplies those) and the block execution resumes
+/// at afterwards (`None` when the interval ended at `Ret`).
+///
+/// All state is mutated in place: `regs`/`mem` advance functionally
+/// through the interval exactly as the surrounding fast-forward would,
+/// and `hier`/`pred`/`now` accumulate the interval's real timing on top
+/// of the proxy-clock warming that preceded it.
+///
+/// # Errors
+///
+/// [`ExecError::WildStore`] on a store outside the memory image (cannot
+/// happen for programs whose functional profile succeeded).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_interval(
+    func: &Function,
+    block_addr: &[u64],
+    config: &SimConfig,
+    start_block: BlockId,
+    n_blocks: u64,
+    regs: &mut RegFile,
+    mem: &mut MemImage,
+    hier: &mut Hierarchy,
+    pred: &mut BranchPredictor,
+    now: &mut u64,
+) -> Result<(SimMetrics, Option<BlockId>), ExecError> {
+    let mut board = Scoreboard::new(func);
+    let mut m = SimMetrics::default();
+    let start_now = *now;
+    let stats_before = *hier.stats();
+
+    let width = config.issue_width.max(1);
+    let ports = config.mem_ports.max(1);
+    let mut slot: u32 = 0;
+    let mut mem_slot: u32 = 0;
+    let fixed_latency = |op: Op| -> u32 {
+        if config.uniform_fixed_latency {
+            1
+        } else {
+            op.latency()
+        }
+    };
+
+    let mut t = *now;
+    let mut cur = start_block;
+    let mut visited = 0u64;
+    let mut next_block = None;
+    'run: loop {
+        let block = func.block(cur);
+        let base_pc = block_addr[cur.index()];
+        for (k, inst) in block.insts.iter().enumerate() {
+            if config.model_ifetch {
+                let f = hier.inst_fetch(base_pc + 4 * k as u64, t);
+                if f.ready_at > t {
+                    m.fetch_stall += f.ready_at - t;
+                    t = f.ready_at;
+                    slot = 0;
+                    mem_slot = 0;
+                }
+            }
+            if slot >= width || (inst.op.is_memory() && mem_slot >= ports) {
+                t += 1;
+                slot = 0;
+                mem_slot = 0;
+            }
+            let mut op_ready = t;
+            let mut blame_site = NO_SITE;
+            for &s in inst.srcs() {
+                let (rt, site) = board.ready(s);
+                if rt > op_ready || (rt == op_ready && site != NO_SITE && rt > t) {
+                    op_ready = rt;
+                    blame_site = site;
+                }
+            }
+            if op_ready > t {
+                let stall = op_ready - t;
+                if blame_site != NO_SITE {
+                    m.load_interlock += stall;
+                } else {
+                    m.fixed_interlock += stall;
+                }
+                t = op_ready;
+                slot = 0;
+                mem_slot = 0;
+            }
+            match inst.op {
+                Op::Ld => {
+                    let site = ((base_pc - CODE_BASE) / 4) as u32 + k as u32;
+                    let base = regs.get(inst.mem_base()).as_int();
+                    let addr = base.wrapping_add(inst.mem_disp()) as u64;
+                    let stall_before = hier.stats().mshr_stall_cycles;
+                    let a = hier.data_read(addr, t);
+                    let mshr_stall = hier.stats().mshr_stall_cycles - stall_before;
+                    let issue_delay = a.issue_at - t;
+                    m.load_interlock += mshr_stall;
+                    m.tlb_stall += issue_delay - mshr_stall;
+                    if a.issue_at > t {
+                        t = a.issue_at;
+                        slot = 0;
+                        mem_slot = 0;
+                    }
+                    let dst = inst.dst.expect("load has a destination");
+                    regs.set(dst, Value::from_bits(dst.class(), mem.load(addr)));
+                    board.set(dst, a.ready_at, site);
+                }
+                Op::St => {
+                    let base = regs.get(inst.mem_base()).as_int();
+                    let addr = base.wrapping_add(inst.mem_disp()) as u64;
+                    let wb_before = hier.stats().wb_stall_cycles;
+                    let a = hier.data_write(addr, t);
+                    let wb_stall = hier.stats().wb_stall_cycles - wb_before;
+                    m.store_stall += wb_stall;
+                    m.tlb_stall += (a.issue_at - t) - wb_stall;
+                    if a.issue_at > t {
+                        t = a.issue_at;
+                        slot = 0;
+                        mem_slot = 0;
+                    }
+                    mem.store(addr, regs.get(inst.srcs()[0]).to_bits())?;
+                }
+                Op::LdAddr => {
+                    let region = inst
+                        .mem
+                        .and_then(|mm| mm.region)
+                        .expect("ldaddr has a region");
+                    let dst = inst.dst.expect("ldaddr has a destination");
+                    regs.set(dst, Value::Int(mem.region_bases[region.index() as usize] as i64));
+                    board.set(dst, t + u64::from(fixed_latency(inst.op)), NO_SITE);
+                }
+                _ => {
+                    let mut vals = [Value::Int(0); 3];
+                    for (v, &s) in vals.iter_mut().zip(inst.srcs()) {
+                        *v = regs.get(s);
+                    }
+                    let v =
+                        bsched_ir::value::eval(inst.op, &vals[..inst.srcs().len()], inst.imm, inst.fimm);
+                    let dst = inst.dst.expect("pure op has a destination");
+                    regs.set(dst, v);
+                    board.set(dst, t + u64::from(fixed_latency(inst.op)), NO_SITE);
+                }
+            }
+            slot += 1;
+            if inst.op.is_memory() {
+                mem_slot += 1;
+            }
+        }
+
+        let term_pc = base_pc + 4 * block.len() as u64;
+        if config.model_ifetch {
+            let f = hier.inst_fetch(term_pc, t);
+            if f.ready_at > t {
+                m.fetch_stall += f.ready_at - t;
+                t = f.ready_at;
+            }
+        }
+        visited += 1;
+        let next: BlockId = match &block.term {
+            Terminator::Jmp(target) => {
+                t += 1;
+                slot = 0;
+                mem_slot = 0;
+                *target
+            }
+            Terminator::Br {
+                cond,
+                when,
+                taken,
+                fall,
+            } => {
+                let (rt, site) = board.ready(*cond);
+                if rt > t {
+                    let stall = rt - t;
+                    if site != NO_SITE {
+                        m.load_interlock += stall;
+                    } else {
+                        m.fixed_interlock += stall;
+                    }
+                    t = rt;
+                }
+                let is_taken = when.holds(regs.get(*cond).as_int());
+                if !pred.predict_and_update(term_pc, is_taken) {
+                    m.branch_penalty += u64::from(config.branch.mispredict_penalty);
+                    t += u64::from(config.branch.mispredict_penalty);
+                }
+                t += 1;
+                slot = 0;
+                mem_slot = 0;
+                if is_taken {
+                    *taken
+                } else {
+                    *fall
+                }
+            }
+            Terminator::Ret => break 'run,
+        };
+        if visited == n_blocks {
+            next_block = Some(next);
+            break 'run;
+        }
+        cur = next;
+    }
+
+    *now = t;
+    m.cycles = t - start_now;
+    m.mem = stats_delta(hier.stats(), &stats_before);
+    Ok((m, next_block))
+}
+
+/// Field-wise difference of two monotonically growing stat snapshots.
+fn stats_delta(after: &MemStats, before: &MemStats) -> MemStats {
+    MemStats {
+        l1d_hits: after.l1d_hits - before.l1d_hits,
+        l2_hits: after.l2_hits - before.l2_hits,
+        l3_hits: after.l3_hits - before.l3_hits,
+        mem_reads: after.mem_reads - before.mem_reads,
+        mshr_merges: after.mshr_merges - before.mshr_merges,
+        mshr_stall_cycles: after.mshr_stall_cycles - before.mshr_stall_cycles,
+        dtb_misses: after.dtb_misses - before.dtb_misses,
+        itb_misses: after.itb_misses - before.itb_misses,
+        icache_misses: after.icache_misses - before.icache_misses,
+        stores: after.stores - before.stores,
+        wb_stall_cycles: after.wb_stall_cycles - before.wb_stall_cycles,
+    }
+}

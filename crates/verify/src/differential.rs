@@ -15,13 +15,45 @@
 //!   ([`bsched_core::compute_weights_reference`]); all three must agree
 //!   bit for bit.
 //! * **Engines** — the compiled program is simulated under both
-//!   [`SimEngine`]s; metrics and memory checksum must be bit-identical
+//!   [`SimEngine`]s; metrics and checksum must be bit-identical
 //!   ([`check_engines`]).
+//! * **Sampling** — the compiled program is simulated exactly and under
+//!   [`SimMode::Sampled`]; the exact-by-construction observables
+//!   (instruction counts, checksum) must match bit for bit and the
+//!   estimated cycle-level metrics must land within committed relative
+//!   tolerances of the exact oracle ([`check_sampling`]).
 
 use bsched_core::{compute_weights, compute_weights_reference, ScheduleAudit};
 use bsched_ir::{Dag, ExecError, Interp, Program};
-use bsched_sim::{SimConfig, SimEngine, SimMetrics, Simulator};
+use bsched_sim::{SampleConfig, SimConfig, SimEngine, SimMetrics, SimMode, SimResult, Simulator};
 use std::fmt;
+
+/// Per-cell tolerance on the sampled CPI (cycles) estimate, as a
+/// fraction of the exact value. This is the *max* bound of the paper
+/// harness's acceptance criteria; the ≤ 2 % *mean* bound
+/// ([`SAMPLING_CPI_MEAN_TOL`]) is enforced over whole sweeps by the
+/// error-bound suite and `benches/sampling.rs`.
+pub const SAMPLING_CPI_TOL: f64 = 0.05;
+/// Sweep-wide mean tolerance on the sampled CPI estimate.
+pub const SAMPLING_CPI_MEAN_TOL: f64 = 0.02;
+/// Per-cell tolerance on the load-interlock stall estimate.
+pub const SAMPLING_STALL_TOL: f64 = 0.15;
+/// Per-cell tolerance on the L1D-miss estimate.
+pub const SAMPLING_MISS_TOL: f64 = 0.15;
+/// Denominator floor for stall and miss errors, as a fraction of the
+/// run's overall magnitude (exact cycles for stalls, total reads for
+/// misses). A stall estimate that is off by its own relative 50 % but by
+/// under 1 % of total cycles cannot move any conclusion drawn from the
+/// run; flooring the denominator keeps such noise from failing cells.
+pub const SAMPLING_FLOOR_FRAC: f64 = 0.01;
+
+/// Relative error of `estimated` against `exact` with the denominator
+/// floored at `floor` (see [`SAMPLING_FLOOR_FRAC`]).
+#[must_use]
+pub fn sampling_rel_err(estimated: u64, exact: u64, floor: u64) -> f64 {
+    let denom = exact.max(floor).max(1) as f64;
+    (estimated as f64 - exact as f64).abs() / denom
+}
 
 /// One differential divergence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +76,33 @@ pub enum DiffViolation {
         interpret: String,
         /// Its value under [`SimEngine::BlockCompiled`], `Debug`-rendered.
         block: String,
+    },
+    /// A sampled run diverged on an observable that sampling derives
+    /// from an exact functional pass (instruction counts, checksum) —
+    /// those must match bit for bit, tolerance does not apply.
+    SamplingExactnessDiverged {
+        /// The diverging observable (`"insts"`, `"checksum"`).
+        field: &'static str,
+        /// The exact engine's value, `Debug`-rendered.
+        exact: String,
+        /// The sampled run's value, `Debug`-rendered.
+        sampled: String,
+    },
+    /// A sampled estimate strayed outside its committed tolerance of the
+    /// exact oracle. Errors are stored in per-mille so the variant stays
+    /// `Eq` (reports and the fuzzer dedup violations by equality).
+    SamplingOutOfTolerance {
+        /// The estimated metric (`"cpi"`, `"load_interlock"`,
+        /// `"l1d_misses"`).
+        metric: &'static str,
+        /// The exact engine's value.
+        exact: u64,
+        /// The sampled estimate.
+        estimated: u64,
+        /// Relative error in per-mille, after denominator flooring.
+        err_permille: u64,
+        /// The tolerance it exceeded, in per-mille.
+        tol_permille: u64,
     },
     /// A region's scheduler weights disagree with a reference
     /// recomputation.
@@ -77,6 +136,26 @@ impl fmt::Display for DiffViolation {
                 f,
                 "simulation engines diverged on {field}: \
                  interpret produced {interpret}, block produced {block}"
+            ),
+            DiffViolation::SamplingExactnessDiverged {
+                field,
+                exact,
+                sampled,
+            } => write!(
+                f,
+                "sampled run diverged on exact-by-construction {field}: \
+                 sampled produced {sampled}, exact engine {exact}"
+            ),
+            DiffViolation::SamplingOutOfTolerance {
+                metric,
+                exact,
+                estimated,
+                err_permille,
+                tol_permille,
+            } => write!(
+                f,
+                "sampled {metric} estimate out of tolerance: {estimated} vs \
+                 exact {exact} ({err_permille}\u{2030} > {tol_permille}\u{2030} allowed)"
             ),
             DiffViolation::WeightsDiverged {
                 region,
@@ -183,6 +262,105 @@ pub fn check_engines(
     Ok(violations)
 }
 
+/// Simulates `compiled` exactly (block engine) and under
+/// [`SimMode::Sampled`] and reports any divergence: the
+/// exact-by-construction observables (instruction counts, checksum)
+/// must be bit-identical, and each estimated metric must land within
+/// its committed tolerance ([`SAMPLING_CPI_TOL`],
+/// [`SAMPLING_STALL_TOL`], [`SAMPLING_MISS_TOL`]) of the exact oracle.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`]s if the exact run fails. A *sampled-only*
+/// failure (exact succeeds, the estimator errors — e.g.
+/// [`ExecError::NonFiniteEstimate`]) is itself a divergence, reported
+/// as a violation rather than an error.
+pub fn check_sampling(
+    compiled: &Program,
+    config: SimConfig,
+    sample: SampleConfig,
+) -> Result<Vec<DiffViolation>, ExecError> {
+    let run = |mode| {
+        Simulator::with_config(compiled, config)
+            .with_engine(SimEngine::BlockCompiled)
+            .with_mode(mode)
+            .run()
+    };
+    let exact = run(SimMode::Exact)?;
+    let sampled = match run(SimMode::Sampled(sample)) {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(vec![DiffViolation::SamplingExactnessDiverged {
+                field: "outcome",
+                exact: "success".to_string(),
+                sampled: format!("error ({e})"),
+            }])
+        }
+    };
+    Ok(sampling_violations(&exact, &sampled))
+}
+
+/// The comparison behind [`check_sampling`], on runs the caller already
+/// has (the error-bound suite reuses its oracle runs).
+#[must_use]
+pub fn sampling_violations(exact: &SimResult, sampled: &SimResult) -> Vec<DiffViolation> {
+    let mut violations = Vec::new();
+    if exact.metrics.insts != sampled.metrics.insts {
+        violations.push(DiffViolation::SamplingExactnessDiverged {
+            field: "insts",
+            exact: format!("{:?}", exact.metrics.insts),
+            sampled: format!("{:?}", sampled.metrics.insts),
+        });
+    }
+    if exact.checksum != sampled.checksum {
+        violations.push(DiffViolation::SamplingExactnessDiverged {
+            field: "checksum",
+            exact: format!("{:#018x}", exact.checksum),
+            sampled: format!("{:#018x}", sampled.checksum),
+        });
+    }
+
+    let permille = |x: f64| (x * 1000.0).ceil() as u64;
+    let mut tol_check = |metric, est: u64, ex: u64, floor: u64, tol: f64| {
+        let err = sampling_rel_err(est, ex, floor);
+        if err > tol {
+            violations.push(DiffViolation::SamplingOutOfTolerance {
+                metric,
+                exact: ex,
+                estimated: est,
+                err_permille: permille(err),
+                tol_permille: permille(tol),
+            });
+        }
+    };
+    let cycles_floor = (exact.metrics.cycles as f64 * SAMPLING_FLOOR_FRAC) as u64;
+    let reads = exact.metrics.mem.total_reads();
+    let reads_floor = (reads as f64 * SAMPLING_FLOOR_FRAC) as u64;
+    tol_check(
+        "cpi",
+        sampled.metrics.cycles,
+        exact.metrics.cycles,
+        1,
+        SAMPLING_CPI_TOL,
+    );
+    tol_check(
+        "load_interlock",
+        sampled.metrics.load_interlock,
+        exact.metrics.load_interlock,
+        cycles_floor,
+        SAMPLING_STALL_TOL,
+    );
+    let misses = |r: &SimResult| r.metrics.mem.total_reads() - r.metrics.mem.l1d_hits;
+    tol_check(
+        "l1d_misses",
+        misses(sampled),
+        misses(exact),
+        reads_floor,
+        SAMPLING_MISS_TOL,
+    );
+    violations
+}
+
 /// The first field of [`SimMetrics`] on which the two runs disagree.
 fn first_metric_diff(i: &SimMetrics, b: &SimMetrics) -> Option<(&'static str, String, String)> {
     macro_rules! diff {
@@ -256,6 +434,63 @@ mod tests {
         let compiled = session.compile().unwrap();
         let v = check_engines(&compiled.program, session.options().sim).unwrap();
         assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn sampling_within_tolerance_on_a_real_cell() {
+        let session = Experiment::builder().kernel("TRFD").build().unwrap();
+        let compiled = session.compile().unwrap();
+        let v = check_sampling(
+            &compiled.program,
+            session.options().sim,
+            SampleConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn out_of_tolerance_estimates_are_reported() {
+        let session = Experiment::builder().kernel("TRFD").build().unwrap();
+        let compiled = session.compile().unwrap();
+        let exact = Simulator::with_config(&compiled.program, session.options().sim)
+            .run()
+            .unwrap();
+        // A fabricated estimate 10 % high on cycles and bit-wrong on the
+        // checksum: both must surface, with the error in per-mille.
+        let mut fake = exact.clone();
+        fake.metrics.cycles += exact.metrics.cycles / 10;
+        fake.checksum ^= 1;
+        let v = sampling_violations(&exact, &fake);
+        assert!(v.iter().any(|d| matches!(
+            d,
+            DiffViolation::SamplingExactnessDiverged {
+                field: "checksum",
+                ..
+            }
+        )));
+        let cpi = v
+            .iter()
+            .find_map(|d| match d {
+                DiffViolation::SamplingOutOfTolerance {
+                    metric: "cpi",
+                    err_permille,
+                    tol_permille,
+                    ..
+                } => Some((*err_permille, *tol_permille)),
+                _ => None,
+            })
+            .expect("10% CPI error exceeds the 5% tolerance");
+        assert!(cpi.0 > cpi.1);
+        assert_eq!(cpi.1, (SAMPLING_CPI_TOL * 1000.0).ceil() as u64);
+
+        // And the floor: a stall estimate off by 100% of a value that is
+        // well under 1% of total cycles is noise, not a violation.
+        let mut small = exact.clone();
+        small.metrics.load_interlock = exact.metrics.cycles / 2000;
+        let mut est = small.clone();
+        est.metrics.load_interlock *= 2;
+        assert_eq!(sampling_violations(&small, &est), vec![]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! A seeded pipeline fuzzer.
 //!
 //! Each iteration generates a random loop-language kernel, picks a random
-//! (optimization level × scheduler × simulation engine) point, and pushes
-//! the program through the whole stack: compile with a schedule audit,
+//! (optimization level × scheduler × simulation engine × sampling
+//! config) point, and pushes the program through the whole stack: compile with a schedule audit,
 //! prove every region's schedule legal, cross-check the scheduler weights
 //! against both reference implementations, replay optimized vs
 //! unoptimized code through the interpreter under a fuel budget,
@@ -20,7 +20,7 @@ use crate::differential::{check_checksum_with_fuel, check_engines, check_weights
 use crate::legality::validate_region_schedule;
 use crate::metamorphic::check_metrics;
 use bsched_core::SchedulerKind;
-use bsched_pipeline::{Experiment, OptLevel, SimEngine};
+use bsched_pipeline::{Experiment, OptLevel, SampleConfig, SimEngine, SimMode};
 use bsched_util::Prng;
 use bsched_workloads::lang::{print_kernel, ArrId, ArrayInit, CmpOp, Expr, Index, Kernel, Stmt, VarId};
 use std::time::{Duration, Instant};
@@ -108,6 +108,7 @@ struct Case {
     level: OptLevel,
     scheduler: SchedulerKind,
     engine: SimEngine,
+    sample: Option<SampleConfig>,
 }
 
 impl Case {
@@ -283,6 +284,19 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
     // Drawn last so adding the engine axis left every earlier draw — and
     // hence every kernel a given seed generates — unchanged.
     let engine = SimEngine::ALL[rng.index(SimEngine::ALL.len())];
+    // The sampling axis is likewise drawn after everything that came
+    // before it. Intervals are kept small so generated kernels (a few
+    // thousand dynamic instructions) still produce several of them.
+    let sample = if rng.coin() {
+        Some(SampleConfig {
+            interval: [64, 256, 1024][rng.index(3)],
+            k: [1, 2, 4, 8][rng.index(4)],
+            reps: [1, 2, 4][rng.index(3)],
+            seed: rng.next_u64(),
+        })
+    } else {
+        None
+    };
     Case {
         decls,
         pinned,
@@ -290,6 +304,7 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
         level,
         scheduler,
         engine,
+        sample,
     }
 }
 
@@ -300,6 +315,7 @@ fn check_kernel(
     level: OptLevel,
     scheduler: SchedulerKind,
     engine: SimEngine,
+    sample: Option<SampleConfig>,
 ) -> Vec<String> {
     let mut messages = Vec::new();
     let session = match Experiment::builder()
@@ -339,9 +355,57 @@ fn check_kernel(
             Err(e) => messages.push(format!("simulator error: {e}")),
         }
     }
-    match session.run() {
-        Ok(run) => messages.extend(check_metrics(&run.metrics).iter().map(ToString::to_string)),
-        Err(e) => messages.push(format!("simulated run failed: {e}")),
+    let exact_run = match session.run() {
+        Ok(run) => {
+            messages.extend(check_metrics(&run.metrics).iter().map(ToString::to_string));
+            Some(run)
+        }
+        Err(e) => {
+            messages.push(format!("simulated run failed: {e}"));
+            None
+        }
+    };
+    if let (Some(sample), Some(exact)) = (sample, exact_run) {
+        // The sampled mode must run wherever the exact mode did, and its
+        // functional outcome (instruction counts, checksum) is exact by
+        // construction — any divergence is a sampling bug, as is a
+        // non-finite estimate (`NonFiniteEstimate`) or nonsensical
+        // coverage. Timing *estimates* are not judged here: tolerance
+        // bounds belong to the grid regression suite, not to arbitrary
+        // generated kernels.
+        let sampled_session = Experiment::builder()
+            .program(kernel.name(), kernel.lower())
+            .opts(level)
+            .scheduler(scheduler)
+            .engine(engine)
+            .sim_mode(SimMode::Sampled(sample))
+            .build()
+            .expect("exact build above succeeded");
+        match sampled_session.run() {
+            Ok(run) => {
+                if run.metrics.insts != exact.metrics.insts {
+                    messages.push(format!(
+                        "sampled instruction counts diverged: exact {:?}, sampled {:?}",
+                        exact.metrics.insts, run.metrics.insts
+                    ));
+                }
+                if !run.checksum_ok {
+                    messages.push("sampled checksum diverged from the interpreter".to_string());
+                }
+                match run.sample {
+                    None => messages.push("sampled run reported no sample stats".to_string()),
+                    Some(stats) => {
+                        if stats.clusters == 0
+                            || stats.clusters > stats.intervals
+                            || stats.sampled_insts > stats.total_insts
+                        {
+                            messages.push(format!("nonsensical sample stats: {stats:?}"));
+                        }
+                    }
+                }
+            }
+            Err(e) => messages.push(format!("sampled run failed: {e}")),
+        }
     }
     messages
 }
@@ -431,17 +495,25 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         // randomness) can never desynchronize later iterations.
         let mut case_rng = rng.fork();
         let case = gen_case(&mut case_rng, iteration);
-        let messages = check_kernel(&case.kernel(), case.level, case.scheduler, case.engine);
+        let messages =
+            check_kernel(&case.kernel(), case.level, case.scheduler, case.engine, case.sample);
         if !messages.is_empty() {
-            // Shrinking replays the checks under the case's own engine,
-            // so an engine-specific failure stays reproducible while it
-            // shrinks.
+            // Shrinking replays the checks under the case's own engine
+            // and sampling config, so an engine- or sampling-specific
+            // failure stays reproducible while it shrinks.
             let minimal = shrink_stmts(case.stmts.clone(), &mut |stmts| {
-                !check_kernel(&case.kernel_with(stmts), case.level, case.scheduler, case.engine)
-                    .is_empty()
+                !check_kernel(
+                    &case.kernel_with(stmts),
+                    case.level,
+                    case.scheduler,
+                    case.engine,
+                    case.sample,
+                )
+                .is_empty()
             });
             let kernel = case.kernel_with(&minimal);
-            let messages = check_kernel(&kernel, case.level, case.scheduler, case.engine);
+            let messages =
+                check_kernel(&kernel, case.level, case.scheduler, case.engine, case.sample);
             let session = Experiment::builder()
                 .program(kernel.name(), kernel.lower())
                 .opts(case.level)
@@ -454,11 +526,15 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 label: session.label(),
                 messages,
                 reproducer: format!(
-                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine\n{}",
+                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine{}\n{}",
                     config.seed,
                     case.level,
                     case.scheduler,
                     case.engine,
+                    match case.sample {
+                        Some(s) => format!(" x sample {s}"),
+                        None => String::new(),
+                    },
                     print_kernel(&kernel)
                 ),
             });
@@ -480,6 +556,7 @@ mod tests {
         assert_eq!(k1.level, k2.level);
         assert_eq!(k1.scheduler, k2.scheduler);
         assert_eq!(k1.engine, k2.engine);
+        assert_eq!(k1.sample, k2.sample);
         let k3 = gen_case(&mut Prng::new(43), 7);
         assert_ne!(print_kernel(&k1.kernel()), print_kernel(&k3.kernel()));
     }

@@ -33,7 +33,9 @@ pub mod legality;
 pub mod metamorphic;
 
 pub use differential::{
-    check_checksum, check_checksum_with_fuel, check_engines, check_weights, DiffViolation,
+    check_checksum, check_checksum_with_fuel, check_engines, check_sampling, check_weights,
+    sampling_rel_err, sampling_violations, DiffViolation, SAMPLING_CPI_MEAN_TOL, SAMPLING_CPI_TOL,
+    SAMPLING_FLOOR_FRAC, SAMPLING_MISS_TOL, SAMPLING_STALL_TOL,
 };
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use legality::{
@@ -46,7 +48,7 @@ pub use metamorphic::{
 
 use bsched_ir::Program;
 use bsched_pipeline::{CompileOptions, Experiment};
-use bsched_sim::SimMetrics;
+use bsched_sim::{SampleConfig, SimMetrics};
 
 /// The verdict on one grid cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +133,66 @@ pub fn verify_cell(
     }
 }
 
+/// The sampled-mode counterpart of [`verify_cell`]: proves schedule
+/// legality, weights, and the optimized-vs-baseline checksum exactly as
+/// the exact path does, then replaces the engine-bit-identity diff with
+/// the sampling diff ([`check_sampling`]) — exact-by-construction
+/// observables must match bit for bit, estimates must land within the
+/// committed tolerances.
+///
+/// The metamorphic metric checks are deliberately *skipped*: they are
+/// exact-accounting identities (cycle accounting, cache conservation)
+/// that independently-scaled cluster estimates need not satisfy.
+#[must_use]
+pub fn verify_cell_sampled(
+    program: &Program,
+    options: &CompileOptions,
+    sample: SampleConfig,
+) -> CellVerification {
+    let mut regions = 0;
+    let mut violations = Vec::new();
+    let session = Experiment::builder()
+        .program("cell", program.clone())
+        .compile_options(*options)
+        .build()
+        .expect("program is supplied directly");
+    match session.compile_audited() {
+        Ok((compiled, audit)) => {
+            regions = audit.regions.len();
+            for (ri, region) in audit.regions.iter().enumerate() {
+                for v in legality::validate_region_schedule(region) {
+                    violations.push(format!("region {ri}: {v}"));
+                }
+            }
+            for v in differential::check_weights(&audit) {
+                violations.push(v.to_string());
+            }
+            match differential::check_checksum(session.source(), &compiled.program) {
+                Ok(vs) => violations.extend(vs.iter().map(ToString::to_string)),
+                Err(e) => violations.push(format!("interpreter error: {e}")),
+            }
+            match differential::check_sampling(&compiled.program, options.sim, sample) {
+                Ok(vs) => violations.extend(vs.iter().map(ToString::to_string)),
+                Err(e) => violations.push(format!("simulator error: {e}")),
+            }
+        }
+        Err(e) => violations.push(format!("audited recompile failed: {e}")),
+    }
+    if bsched_trace::enabled() {
+        for v in &violations {
+            bsched_trace::instant(
+                bsched_trace::points::VERIFY_VIOLATION,
+                v,
+                &[("regions", regions as u64)],
+            );
+        }
+    }
+    CellVerification {
+        regions,
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +210,15 @@ mod tests {
             .unwrap();
         let run = session.run().unwrap();
         let v = verify_cell(&program, &options, &run.metrics);
+        assert!(v.regions > 0);
+        assert!(v.is_clean(), "violations: {:#?}", v.violations);
+    }
+
+    #[test]
+    fn a_real_cell_verifies_clean_under_sampling() {
+        let program = resolve_kernel("TRFD").unwrap();
+        let options = CompileOptions::new(SchedulerKind::Balanced);
+        let v = verify_cell_sampled(&program, &options, SampleConfig::default());
         assert!(v.regions > 0);
         assert!(v.is_clean(), "violations: {:#?}", v.violations);
     }

@@ -68,6 +68,49 @@ for eng in interpret block; do
         || { cat "$ENG_ERR"; echo "FAIL: run report must name engine $eng"; exit 1; }
 done
 
+echo "== smoke: sampled mode (estimates, cache separation, exact bytes) =="
+# SimPoint-style sampling end to end on the warm 2-kernel cache. The
+# sampled verified run must pass its conformance gate (instruction
+# counts and checksum exact by construction, estimates within the
+# committed tolerances vs a fresh exact run) while *executing* every
+# cell: the mode axis is cache-key-blind but not metrics-invariant, so
+# sampled results must never be answered from — or written into — the
+# exact-result cache. Afterwards the exact grid must still be answered
+# fully from the warm cache with byte-identical stdout, and disabling
+# sampling via the environment must be a no-op.
+SAMPLE_ERR="$SMOKE_CACHE/sample.err"
+sampled="$(BSCHED_CACHE_DIR="$SMOKE_CACHE" \
+    ./target/release/all_experiments --sample --verify --kernels ARC2D,TRFD 2>"$SAMPLE_ERR")" \
+    || { cat "$SAMPLE_ERR"; echo "FAIL: sampled verified run"; exit 1; }
+grep -q "verification: .* 0 violations" "$SAMPLE_ERR" \
+    || { cat "$SAMPLE_ERR"; echo "FAIL: sampled verification"; exit 1; }
+grep -q "mode: sampled(" "$SAMPLE_ERR" \
+    || { cat "$SAMPLE_ERR"; echo "FAIL: run report must name the sampled mode"; exit 1; }
+grep -q "sampling: .* insts cycle-simulated" "$SAMPLE_ERR" \
+    || { cat "$SAMPLE_ERR"; echo "FAIL: no sampling report section"; exit 1; }
+grep -q "0 memory hits, 0 disk hits, 30 executed (0% cache hits)" "$SAMPLE_ERR" \
+    || { cat "$SAMPLE_ERR"; echo "FAIL: sampled run must not hit the exact cache"; exit 1; }
+[ "$sampled" != "$cold" ] \
+    || { echo "FAIL: sampled table should be an estimate, not a cache readback"; exit 1; }
+after="$(BSCHED_CACHE_DIR="$SMOKE_CACHE" \
+    ./target/release/all_experiments --kernels ARC2D,TRFD 2>"$SMOKE_CACHE/after.err")"
+[ "$after" = "$cold" ] || { echo "FAIL: sampled run altered cached exact results"; exit 1; }
+grep -q " 0 executed (100% cache hits)" "$SMOKE_CACHE/after.err" \
+    || { cat "$SMOKE_CACHE/after.err"; \
+         echo "FAIL: exact cache no longer warm after the sampled run"; exit 1; }
+disabled="$(BSCHED_SAMPLE=0 BSCHED_CACHE_DIR="$SMOKE_CACHE" \
+    ./target/release/all_experiments --kernels ARC2D,TRFD)"
+[ "$disabled" = "$cold" ] \
+    || { echo "FAIL: BSCHED_SAMPLE=0 must leave exact stdout byte-identical"; exit 1; }
+
+echo "== smoke: sampling microbench vs recorded BENCH_pr8.json baseline =="
+# Re-measures the per-kernel exact-vs-sampled cells (accuracy bounds
+# asserted inside the bench) and fails if any case's speedup ratio fell
+# below half the committed baseline. The full-grid headline case needs
+# --grid and is recorded in the committed BENCH_pr8.json.
+cargo bench -q -p bsched-bench --bench sampling -- \
+    --check "$PWD/BENCH_pr8.json" --check-ratio 0.5
+
 echo "== smoke: simulator microbench vs recorded BENCH_pr7.json baseline =="
 # Re-measures the interpreting vs block-compiled engine on the
 # per-kernel cells and fails if any case's speedup ratio fell below
