@@ -1,0 +1,455 @@
+//! The optimality-bound table: how close each heuristic scheduler comes
+//! to the exact branch-and-bound optimum, kernel by kernel.
+//!
+//! For every kernel × optimization combination of the standard grid the
+//! binary compiles the program twice per row: once under the heuristic
+//! arm being judged and once under [`SchedulerKind::Exact`] with the
+//! chosen node budget. Both compiles run identical pre-schedule passes,
+//! so their regions align instruction for instruction; every heuristic
+//! order is then costed under the plain balanced weight model — the
+//! exact issue-span clock the search minimizes — and reported as a
+//! percentage of the exact bound (100 = the heuristic matched the
+//! proven optimum on every region; lower = headroom left on the table).
+//! Every audited region, heuristic and exact alike, passes the
+//! `bsched-verify` legality checker; any violation exits 1.
+//!
+//! Stdout is deterministic byte for byte: the budget's unit is search
+//! nodes (never wall clock), so the table is machine-independent and
+//! snapshot-tested like the paper tables.
+//!
+//! Flags:
+//!
+//! * `--kernels NAME,...` — restrict to a kernel subset (exit 2 with
+//!   the valid choices on unknown names);
+//! * `--budget N` — exact-search node budget per region (default
+//!   `bsched_core::DEFAULT_EXACT_BUDGET`; exit 2 on non-numbers);
+//! * `--schedulers LIST` — restrict the judged arms to a subset of
+//!   `TS,BS,BS+LA` (exit 2 with the valid choices on unknown names);
+//! * `--csv` — also write `results/optimality.csv`;
+//! * `--json PATH` — write per-kernel search-cost numbers (regions,
+//!   proven, nodes, costs) as JSON;
+//! * `--check BASELINE` — compare search cost against a recorded JSON:
+//!   the proven fraction must not fall below, nor the node count rise
+//!   above, `--check-ratio R` (default 0.9) of the baseline; exit 1 on
+//!   regression.
+
+use bsched_core::{
+    compute_weights, schedule_cost, SchedulerKind, WeightConfig,
+};
+use bsched_ir::Dag;
+use bsched_pipeline::{resolve_kernel, standard_grid, Experiment, ExperimentConfig};
+use bsched_verify::validate_region_schedule;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One judged row: a heuristic arm on one kernel × combo, against the
+/// exact bound of the same combo.
+struct Row {
+    kernel: String,
+    config: String,
+    arm: &'static str,
+    arm_cost: u64,
+    exact: bsched_core::ExactStats,
+}
+
+impl Row {
+    fn pct(&self) -> f64 {
+        if self.arm_cost == 0 {
+            return 100.0;
+        }
+        100.0 * self.exact.exact_cost as f64 / self.arm_cost as f64
+    }
+}
+
+/// The effective heuristic arm of a grid entry: locality analysis
+/// promotes balanced scheduling to its selective variant, so the LA
+/// rows judge `BS+LA` rather than plain `BS`.
+fn arm_label(cfg: &ExperimentConfig) -> &'static str {
+    if cfg.scheduler == SchedulerKind::Balanced && cfg.options().locality {
+        "BS+LA"
+    } else {
+        cfg.scheduler.label()
+    }
+}
+
+const VALID_ARMS: [&str; 3] = ["TS", "BS", "BS+LA"];
+
+struct Cli {
+    csv: bool,
+    budget: u64,
+    filter: Option<Vec<String>>,
+    arms: Option<Vec<String>>,
+    json: Option<String>,
+    check: Option<String>,
+    check_ratio: f64,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        csv: false,
+        budget: bsched_core::DEFAULT_EXACT_BUDGET,
+        filter: None,
+        arms: None,
+        json: None,
+        check: None,
+        check_ratio: 0.9,
+    };
+    let value = |i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    let number = |v: &str, flag: &str| -> u64 {
+        v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("{flag} requires a non-negative number of search nodes, got {v:?}");
+            std::process::exit(2);
+        })
+    };
+    let kernel_list = |raw: &str| -> Vec<String> {
+        if raw.trim().is_empty() {
+            eprintln!(
+                "--kernels requires at least one kernel name; valid kernels: {}",
+                bsched_workloads::all_kernels()
+                    .iter()
+                    .map(|k| k.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+        raw.split(',').map(str::to_string).collect()
+    };
+    let arm_list = |raw: &str| -> Vec<String> {
+        let arms: Vec<String> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        for a in &arms {
+            if !VALID_ARMS.contains(&a.as_str()) {
+                eprintln!(
+                    "--schedulers: unknown scheduler {a:?}; valid schedulers: {}",
+                    VALID_ARMS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        if arms.is_empty() {
+            eprintln!(
+                "--schedulers requires at least one scheduler; valid schedulers: {}",
+                VALID_ARMS.join(", ")
+            );
+            std::process::exit(2);
+        }
+        arms
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--csv" {
+            cli.csv = true;
+        } else if a == "--budget" {
+            cli.budget = number(&value(i, "--budget"), "--budget");
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--budget=") {
+            cli.budget = number(v, "--budget");
+        } else if a == "--kernels" {
+            cli.filter = Some(kernel_list(&value(i, "--kernels")));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--kernels=") {
+            cli.filter = Some(kernel_list(v));
+        } else if a == "--schedulers" {
+            cli.arms = Some(arm_list(&value(i, "--schedulers")));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--schedulers=") {
+            cli.arms = Some(arm_list(v));
+        } else if a == "--json" {
+            cli.json = Some(value(i, "--json"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--json=") {
+            cli.json = Some(v.to_string());
+        } else if a == "--check" {
+            cli.check = Some(value(i, "--check"));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--check=") {
+            cli.check = Some(v.to_string());
+        } else if a == "--check-ratio" || a.starts_with("--check-ratio=") {
+            let v = a
+                .strip_prefix("--check-ratio=")
+                .map(str::to_string)
+                .unwrap_or_else(|| {
+                    let v = value(i, "--check-ratio");
+                    i += 1;
+                    v
+                });
+            let r: f64 = v.parse().unwrap_or(f64::NAN);
+            if !(r > 0.0 && r <= 1.0) {
+                eprintln!("--check-ratio requires a number in (0, 1], got {v:?}");
+                std::process::exit(2);
+            }
+            cli.check_ratio = r;
+        } else {
+            eprintln!("unknown flag {a:?}");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Compiles a kernel under `opts` and returns the audit, with every
+/// region proven legal (exit 1 otherwise — the table must never be
+/// built on an illegal schedule).
+fn audited_legal(
+    kernel: &str,
+    opts: bsched_pipeline::CompileOptions,
+) -> bsched_core::ScheduleAudit {
+    let session = Experiment::builder()
+        .kernel(kernel)
+        .compile_options(opts.clone())
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("{kernel}: build failed: {e}");
+            std::process::exit(1);
+        });
+    let (_, audit) = session.compile_audited().unwrap_or_else(|e| {
+        eprintln!("{kernel}: compile failed: {e}");
+        std::process::exit(1);
+    });
+    for (ri, region) in audit.regions.iter().enumerate() {
+        let violations = validate_region_schedule(region);
+        if !violations.is_empty() {
+            eprintln!("{kernel}/{}: region {ri} illegal: {violations:?}", opts.label());
+            std::process::exit(1);
+        }
+    }
+    audit
+}
+
+/// Costs a heuristic audit's emitted orders under the plain balanced
+/// weight model — the model the exact search optimizes — summed over
+/// all regions.
+fn arm_cost(audit: &bsched_core::ScheduleAudit) -> u64 {
+    let balanced = WeightConfig::new(SchedulerKind::Balanced);
+    audit
+        .regions
+        .iter()
+        .map(|r| {
+            let dag = Dag::new(&r.insts);
+            let weights = compute_weights(&r.insts, &dag, &balanced);
+            schedule_cost(&dag, &weights, &r.order)
+        })
+        .sum()
+}
+
+/// `(name, proven_frac, nodes)` per baseline case.
+fn parse_baseline(json: &str) -> Vec<(String, f64, u64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    json.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|l| {
+            let name = field(l, "name")?;
+            let proven_frac = field(l, "proven_frac")?.parse().ok()?;
+            let nodes = field(l, "nodes")?.parse().ok()?;
+            Some((name, proven_frac, nodes))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+
+    let kernels: Vec<String> = match &cli.filter {
+        None => bsched_workloads::all_kernels().iter().map(|k| k.name.to_string()).collect(),
+        Some(want) => {
+            for w in want {
+                if let Err(e) = resolve_kernel(w) {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            bsched_workloads::all_kernels()
+                .iter()
+                .map(|k| k.name.to_string())
+                .filter(|k| want.contains(k))
+                .collect()
+        }
+    };
+    let grid: Vec<ExperimentConfig> = standard_grid()
+        .into_iter()
+        .filter(|cfg| {
+            cli.arms
+                .as_ref()
+                .map_or(true, |arms| arms.iter().any(|a| a == arm_label(cfg)))
+        })
+        .collect();
+
+    // Exact bounds are per (kernel, optimization combo) — rows judging
+    // different arms on the same combo share one search.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut per_kernel: BTreeMap<String, bsched_core::ExactStats> = BTreeMap::new();
+    for kernel in &kernels {
+        let mut bounds: BTreeMap<String, bsched_core::ExactStats> = BTreeMap::new();
+        for cfg in &grid {
+            let combo = cfg.kind.label();
+            let exact = *bounds.entry(combo.clone()).or_insert_with(|| {
+                let opts = cfg
+                    .kind
+                    .options(SchedulerKind::Exact)
+                    .with_exact_budget(cli.budget);
+                let audit = audited_legal(kernel, opts);
+                per_kernel.entry(kernel.clone()).or_default().merge(&audit.exact);
+                audit.exact
+            });
+            let heuristic = audited_legal(kernel, cfg.options());
+            let cost = arm_cost(&heuristic);
+            if cost < exact.exact_cost {
+                eprintln!(
+                    "{kernel}/{combo}: heuristic cost {cost} beats the exact bound {} — \
+                     region mismatch or search bug",
+                    exact.exact_cost
+                );
+                std::process::exit(1);
+            }
+            rows.push(Row {
+                kernel: kernel.clone(),
+                config: combo,
+                arm: arm_label(cfg),
+                arm_cost: cost,
+                exact,
+            });
+        }
+    }
+
+    let mut out = String::new();
+    if cli.csv {
+        let _ = writeln!(
+            out,
+            "kernel,config,scheduler,budget,arm_cost,exact_cost,pct_of_optimal,\
+             regions,proven,fallbacks,nodes"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.1},{},{},{},{}",
+                r.kernel,
+                r.config.replace(' ', ""),
+                r.arm,
+                cli.budget,
+                r.arm_cost,
+                r.exact.exact_cost,
+                r.pct(),
+                r.exact.regions,
+                r.exact.proven,
+                r.exact.fallbacks,
+                r.exact.nodes,
+            );
+        }
+        print!("{out}");
+        let path = std::path::Path::new("results/optimality.csv");
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, out.as_bytes())
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{:10} {:12} {:>5} {:>9} {:>9} {:>6} {:>9} {:>10}",
+            "kernel", "config", "sch", "armcost", "optimal", "pct", "proven", "nodes"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:10} {:12} {:>5} {:>9} {:>9} {:>6.1} {:>6}/{:<2} {:>10}",
+                r.kernel,
+                r.config,
+                r.arm,
+                r.arm_cost,
+                r.exact.exact_cost,
+                r.pct(),
+                r.exact.proven,
+                r.exact.regions,
+                r.exact.nodes,
+            );
+        }
+        print!("{out}");
+    }
+
+    if let Some(path) = &cli.json {
+        let mut json = String::from("{\n  \"bench\": \"optimality\",\n  \"cases\": [\n");
+        let n = per_kernel.len();
+        for (i, (kernel, s)) in per_kernel.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            let frac = if s.regions == 0 { 1.0 } else { s.proven as f64 / s.regions as f64 };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{kernel}\", \"budget\": {}, \"regions\": {}, \
+                 \"proven\": {}, \"proven_frac\": {frac:.4}, \"fallbacks\": {}, \
+                 \"nodes\": {}, \"heuristic_cost\": {}, \"exact_cost\": {}, \
+                 \"pct_of_optimal\": {:.2}}}{comma}",
+                cli.budget,
+                s.regions,
+                s.proven,
+                s.fallbacks,
+                s.nodes,
+                s.heuristic_cost,
+                s.exact_cost,
+                s.pct_of_optimal(),
+            );
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &cli.check {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut failed = false;
+        for (name, base_frac, base_nodes) in parse_baseline(&baseline) {
+            let Some(s) = per_kernel.get(&name) else { continue };
+            let frac = if s.regions == 0 { 1.0 } else { s.proven as f64 / s.regions as f64 };
+            if frac < base_frac * cli.check_ratio {
+                eprintln!(
+                    "REGRESSION: optimality/{name} proven fraction {frac:.2} is more than \
+                     {:.0}% below the recorded {base_frac:.2}",
+                    (1.0 - cli.check_ratio) * 100.0
+                );
+                failed = true;
+            }
+            if s.nodes as f64 > base_nodes as f64 / cli.check_ratio {
+                eprintln!(
+                    "REGRESSION: optimality/{name} explored {} nodes, more than \
+                     1/{:.1} above the recorded {base_nodes}",
+                    s.nodes, cli.check_ratio
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check vs {path}: ok");
+    }
+}

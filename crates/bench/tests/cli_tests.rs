@@ -1,11 +1,15 @@
-//! CLI-contract tests for `all_experiments`: argument validation must
-//! fail fast (exit code 2) with actionable messages, before any cell
-//! executes.
+//! CLI-contract tests for `all_experiments` and `optimality`: argument
+//! validation must fail fast (exit code 2) with actionable messages,
+//! before any cell executes.
 
 use std::process::Command;
 
 fn all_experiments() -> Command {
     Command::new(env!("CARGO_BIN_EXE_all_experiments"))
+}
+
+fn optimality() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_optimality"))
 }
 
 #[test]
@@ -318,4 +322,49 @@ fn trace_summary_composes_with_verify_and_kernels() {
         err.contains("── bsched-trace summary"),
         "--trace-summary section missing: {err}"
     );
+}
+
+#[test]
+fn optimality_rejects_invalid_budgets_before_searching() {
+    for args in [vec!["--budget", "banana"], vec!["--budget=-5"], vec!["--budget=1.5"]] {
+        let out = optimality().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--budget"), "{args:?} must name the flag: {err}");
+        assert!(
+            err.contains("search nodes"),
+            "{args:?} must say what a valid value is: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{args:?} must not start compiling");
+    }
+    let out = optimality().arg("--budget").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"));
+}
+
+#[test]
+fn optimality_rejects_unknown_schedulers_with_the_valid_choices() {
+    for args in [vec!["--schedulers", "bogus"], vec!["--schedulers=TS,bogus"], vec!["--schedulers="]] {
+        let out = optimality().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("TS") && err.contains("BS") && err.contains("BS+LA"),
+            "{args:?} must list the valid schedulers: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{args:?} must not start compiling");
+    }
+}
+
+#[test]
+fn optimality_rejects_unknown_kernels_and_flags() {
+    let out = optimality().args(["--kernels", "nonesuch"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nonesuch"), "{err}");
+    assert!(err.contains("TRFD"), "must list valid kernels: {err}");
+
+    let out = optimality().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
 }

@@ -162,6 +162,36 @@ fn all_experiments_sampled() {
     assert_eq!(interp, want, "sampled stdout must not depend on the exact engine");
 }
 
+/// The optimality table never simulates — its numbers come from the
+/// compiler's audited schedules and the node-budgeted exact search, so
+/// stdout is deterministic across machines and build profiles. A small
+/// kernel and budget keep the debug-build search fast while still
+/// exercising both the proven and the budget-fallback paths.
+#[test]
+fn optimality() {
+    let root = workspace_root();
+    let exe = env!("CARGO_BIN_EXE_optimality");
+    let args = ["--kernels", "TRFD", "--budget", "500"];
+    let stdout = run_with("optimality", exe, &root, &args, &[]);
+    check_against("optimality", &root, &stdout);
+    // The scheduler filter subsets the same bytes: every BS-arm row of
+    // the full table, and nothing else.
+    let bs_only = run_with(
+        "optimality (BS only)",
+        exe,
+        &root,
+        &["--kernels", "TRFD", "--budget", "500", "--schedulers", "BS"],
+        &[],
+    );
+    for line in bs_only.lines().skip(1) {
+        assert!(
+            stdout.contains(line),
+            "filtered row missing from the full table: {line}"
+        );
+        assert!(line.contains(" BS "), "non-BS row under --schedulers BS: {line}");
+    }
+}
+
 /// With sampling compiled in but *disabled*, exact stdout is pinned: the
 /// mode axis must be invisible until asked for, in any spelling of
 /// "off".

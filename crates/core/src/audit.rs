@@ -8,6 +8,7 @@
 //! from the pre-schedule instructions and prove the emitted order legal,
 //! and can recompute the weights against the retained naive reference.
 
+use crate::exact::ExactStats;
 use crate::scheduler::TieBreak;
 use crate::weights::WeightConfig;
 use bsched_ir::Inst;
@@ -38,6 +39,9 @@ pub struct ScheduleAudit {
     pub tie_break: TieBreak,
     /// Per-block records, in block order.
     pub regions: Vec<RegionSchedule>,
+    /// Exact-search statistics aggregated over the function's regions
+    /// (all zeros under the heuristic policies).
+    pub exact: ExactStats,
 }
 
 impl ScheduleAudit {
@@ -48,6 +52,7 @@ impl ScheduleAudit {
             config,
             tie_break,
             regions: Vec::new(),
+            exact: ExactStats::default(),
         }
     }
 

@@ -49,15 +49,19 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod exact;
 pub mod priority;
 pub mod scheduler;
 pub mod weights;
 
 pub use audit::{RegionSchedule, ScheduleAudit};
+pub use exact::{
+    schedule_cost, schedule_region_exact, ExactOutcome, ExactStats, DEFAULT_EXACT_BUDGET,
+};
 pub use priority::compute_priorities;
 pub use scheduler::{
-    schedule_function, schedule_function_audited, schedule_function_with, schedule_order,
-    schedule_region, schedule_region_bounded, schedule_region_full,
+    schedule_function, schedule_function_audited, schedule_function_stats, schedule_function_with,
+    schedule_order, schedule_region, schedule_region_bounded, schedule_region_full,
     schedule_region_with_pressure, TieBreak, PRESSURE_LIMIT,
 };
 pub use weights::{compute_weights, compute_weights_reference, SchedulerKind, WeightConfig};

@@ -13,8 +13,9 @@
 //! is still waiting on a result), the clock advances — that gap is exactly
 //! the interlock the weights are trying to schedule around.
 
+use crate::exact::{schedule_cost, schedule_region_exact, ExactStats};
 use crate::priority::compute_priorities;
-use crate::weights::{compute_weights, WeightConfig};
+use crate::weights::{compute_weights, SchedulerKind, WeightConfig};
 use bsched_ir::{Dag, DepKind, Function, Inst};
 
 /// Computes a schedule (a permutation of `0..insts.len()`) for a region
@@ -317,7 +318,19 @@ pub fn schedule_function(func: &mut Function, config: &WeightConfig) {
 
 /// [`schedule_function`] with an explicit tie-break order (ablations).
 pub fn schedule_function_with(func: &mut Function, config: &WeightConfig, tie_break: TieBreak) {
-    schedule_function_inner(func, config, tie_break, None);
+    let _ = schedule_function_stats(func, config, tie_break);
+}
+
+/// [`schedule_function_with`] that additionally returns the aggregated
+/// exact-search statistics (all zeros under the heuristic policies) —
+/// the hook the pipeline uses to surface budget-exhaustion fallbacks in
+/// run reports without paying for an audit.
+pub fn schedule_function_stats(
+    func: &mut Function,
+    config: &WeightConfig,
+    tie_break: TieBreak,
+) -> ExactStats {
+    schedule_function_inner(func, config, tie_break, None)
 }
 
 /// [`schedule_function_with`] that additionally records, per block, the
@@ -330,7 +343,7 @@ pub fn schedule_function_audited(
     tie_break: TieBreak,
 ) -> crate::audit::ScheduleAudit {
     let mut audit = crate::audit::ScheduleAudit::new(*config, tie_break);
-    schedule_function_inner(func, config, tie_break, Some(&mut audit.regions));
+    audit.exact = schedule_function_inner(func, config, tie_break, Some(&mut audit.regions));
     audit
 }
 
@@ -339,10 +352,11 @@ fn schedule_function_inner(
     config: &WeightConfig,
     tie_break: TieBreak,
     mut audit: Option<&mut Vec<crate::audit::RegionSchedule>>,
-) {
+) -> ExactStats {
     let cfg = bsched_ir::Cfg::new(func);
     let live = bsched_ir::Liveness::new(func, &cfg);
     let nblocks = func.blocks().len();
+    let mut stats = ExactStats::default();
     for bi in 0..nblocks {
         let id = bsched_ir::BlockId::new(bi);
         let live_in = live.live_in(id).clone();
@@ -378,7 +392,7 @@ fn schedule_function_inner(
                 }
             }
         }
-        let order = schedule_region_full(
+        let mut order = schedule_region_full(
             &insts,
             &dag,
             &weights,
@@ -387,6 +401,42 @@ fn schedule_function_inner(
             &live_out,
             tie_break,
         );
+        if config.kind == SchedulerKind::Exact {
+            // The heuristic balanced schedule above is the incumbent:
+            // on a zero budget (or immediate exhaustion) the emitted
+            // schedule is byte-identical to the balanced arm's. Exact
+            // orders may exceed the pressure gate — register overflow
+            // becomes regalloc spills, and the legality validator and
+            // checksum oracle guard correctness.
+            let heuristic_cost = schedule_cost(&dag, &weights, &order);
+            let outcome = schedule_region_exact(&dag, &weights, config.exact_budget, order);
+            stats.regions += 1;
+            stats.nodes += outcome.nodes;
+            stats.heuristic_cost += heuristic_cost;
+            stats.exact_cost += outcome.cost;
+            if outcome.proven {
+                stats.proven += 1;
+            } else {
+                stats.fallbacks += 1;
+                // Budget exhaustion is reported, never silent: the
+                // run report aggregates `fallbacks`, and tracing (when
+                // enabled) pins the region.
+                if bsched_trace::enabled() {
+                    bsched_trace::instant(
+                        bsched_trace::points::SCHED_EXACT_FALLBACK,
+                        func.name(),
+                        &[
+                            ("block", bi as u64),
+                            ("insts", outcome.order.len() as u64),
+                            ("nodes", outcome.nodes),
+                            ("best_cost", outcome.cost),
+                            ("heuristic_cost", heuristic_cost),
+                        ],
+                    );
+                }
+            }
+            order = outcome.order;
+        }
         if let Some(sink) = audit.as_deref_mut() {
             sink.push(crate::audit::RegionSchedule {
                 block: bi,
@@ -402,6 +452,7 @@ fn schedule_function_inner(
         }
         func.block_mut(id).insts = reordered;
     }
+    stats
 }
 
 #[cfg(test)]

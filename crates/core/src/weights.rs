@@ -45,6 +45,12 @@ pub enum SchedulerKind {
     /// Balanced weights for miss/unknown loads only; compile-time hits are
     /// scheduled traditionally and contribute coverage (paper §3.3).
     SelectiveBalanced,
+    /// Exact branch-and-bound search under the balanced cost model: the
+    /// list scheduler's balanced schedule seeds a search for the true
+    /// issue-span optimum (see [`crate::exact`]). Weight-wise this is
+    /// identical to [`SchedulerKind::Balanced`] — the search minimizes
+    /// the same uncertain-latency objective the balanced weights encode.
+    Exact,
 }
 
 impl SchedulerKind {
@@ -55,10 +61,15 @@ impl SchedulerKind {
             SchedulerKind::Traditional => "TS",
             SchedulerKind::Balanced => "BS",
             SchedulerKind::SelectiveBalanced => "BS+LA",
+            SchedulerKind::Exact => "EX",
         }
     }
 
-    /// All three policies, in table order.
+    /// The paper's three heuristic policies, in table order. The exact
+    /// arm is deliberately not included: the standard experiment grid,
+    /// golden tables, and fuzzer seed streams iterate this array, and
+    /// exact search is an oracle those compare *against*, not a fourth
+    /// table column everywhere.
     pub const ALL: [SchedulerKind; 3] = [
         SchedulerKind::Traditional,
         SchedulerKind::Balanced,
@@ -79,6 +90,12 @@ pub struct WeightConfig {
     /// identical; only the cost differs. Used by the perf-trajectory
     /// benches to measure the end-to-end before/after in one process.
     pub reference: bool,
+    /// Node budget for the [`SchedulerKind::Exact`] branch-and-bound
+    /// search, per region (ignored by the heuristic policies). A
+    /// deterministic unit — results are machine-independent and
+    /// cacheable. Zero disables the search entirely (the balanced
+    /// incumbent is emitted unchanged).
+    pub exact_budget: u64,
 }
 
 impl WeightConfig {
@@ -89,6 +106,7 @@ impl WeightConfig {
             kind,
             cap: latency::MAX_LOAD,
             reference: false,
+            exact_budget: crate::exact::DEFAULT_EXACT_BUDGET,
         }
     }
 
@@ -103,6 +121,13 @@ impl WeightConfig {
     #[must_use]
     pub fn with_reference(mut self, reference: bool) -> Self {
         self.reference = reference;
+        self
+    }
+
+    /// Overrides the exact-search node budget.
+    #[must_use]
+    pub fn with_exact_budget(mut self, budget: u64) -> Self {
+        self.exact_budget = budget;
         self
     }
 }
@@ -133,7 +158,9 @@ fn is_balanced_load(inst: &Inst, kind: SchedulerKind) -> bool {
     }
     match kind {
         SchedulerKind::Traditional => false,
-        SchedulerKind::Balanced => true,
+        // The exact arm searches under the balanced weights — its
+        // objective *is* the balanced uncertain-latency model.
+        SchedulerKind::Balanced | SchedulerKind::Exact => true,
         SchedulerKind::SelectiveBalanced => inst.hint != LocalityHint::Hit,
     }
 }

@@ -21,7 +21,14 @@ use std::hash::{Hash, Hasher};
 /// v3: cached documents gained the `verified` flag recording that the
 /// `bsched-verify` conformance suite passed when the cell was computed;
 /// verifying runs treat unverified cached cells as misses.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `CompileOptions` gained the exact scheduler arm and its
+/// `exact_budget` knob, serialized as `sched=exact` / `exact_budget=`.
+/// The budget is metrics-relevant — a larger budget can prove a better
+/// schedule for the same cell — so it must key the cache; its unit is
+/// deterministic search nodes, never wall clock, so budgeted results
+/// stay machine-independent and cacheable.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// One deduplicated unit of experimental work: a kernel compiled under
 /// one full option set (the options embed the simulated machine).
@@ -136,6 +143,7 @@ fn canonical_key(kernel: &str, o: &CompileOptions) -> String {
     }
     let _ = write!(s, ";selective={}", u8::from(o.selective));
     let _ = write!(s, ";refweights={}", u8::from(o.reference_weights));
+    let _ = write!(s, ";exact_budget={}", o.exact_budget);
     canon_sim(&o.sim, &mut s);
     s
 }
@@ -145,6 +153,7 @@ fn scheduler_tag(k: SchedulerKind) -> &'static str {
         SchedulerKind::Traditional => "trad",
         SchedulerKind::Balanced => "bal",
         SchedulerKind::SelectiveBalanced => "selbal",
+        SchedulerKind::Exact => "exact",
     }
 }
 
@@ -234,6 +243,8 @@ mod tests {
             cell(base().with_unroll_budget(32)),
             cell(base().without_selective()),
             cell(base().with_reference_weights()),
+            cell(CompileOptions::new(SchedulerKind::Exact)),
+            cell(base().with_exact_budget(7)),
             cell(base().with_sim(SimConfig::default().with_issue_width(4))),
             cell(base().with_sim(SimConfig::default().with_mshrs(1))),
             cell(base().with_sim(SimConfig::default().with_ifetch(false))),

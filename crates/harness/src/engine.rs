@@ -552,6 +552,10 @@ impl Engine {
             r.sampled_insts += stats.sampled_insts;
             r.sample_total_insts += stats.total_insts;
         }
+        if run.compile.exact.regions > 0 {
+            let mut r = self.report.lock().expect("report poisoned");
+            r.exact.merge(&run.compile.exact);
+        }
         let verified = if verify {
             // A sampled cell's estimates cannot be judged against exact
             // metamorphic identities; its suite instead replays the cell

@@ -1,5 +1,6 @@
 //! Structured run reports: what the engine did and where the time went.
 
+use bsched_core::ExactStats;
 use std::time::Duration;
 
 /// Writes `text` to stderr as one `write_all` on the locked handle, so
@@ -63,6 +64,10 @@ pub struct RunReport {
     /// Total retired instructions across executed sampled cells (the
     /// coverage denominator).
     pub sample_total_insts: u64,
+    /// Exact-search statistics aggregated over executed exact-arm cells
+    /// (regions searched, optima proven, budget fallbacks, nodes, and
+    /// the heuristic-vs-exact issue-span costs behind "% of optimal").
+    pub exact: ExactStats,
     /// Busy time per worker, summed over batches.
     pub worker_busy: Vec<Duration>,
     /// Wall time spent inside parallel batches.
@@ -143,6 +148,20 @@ impl RunReport {
                 self.sampled_insts,
                 self.sample_total_insts,
                 self.sampled_insts as f64 / self.sample_total_insts as f64 * 100.0
+            );
+        }
+        if self.exact.regions > 0 {
+            let _ = writeln!(
+                s,
+                "exact: {} regions searched, {} proven, {} fallbacks, {} nodes, \
+                 {:.1}% of optimal (heuristic seed {} vs exact {} issue cycles)",
+                self.exact.regions,
+                self.exact.proven,
+                self.exact.fallbacks,
+                self.exact.nodes,
+                self.exact.pct_of_optimal(),
+                self.exact.heuristic_cost,
+                self.exact.exact_cost,
             );
         }
         if self.executed > 0 {

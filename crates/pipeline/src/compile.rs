@@ -1,7 +1,7 @@
 //! The compilation pipeline.
 
 use crate::options::CompileOptions;
-use bsched_core::{schedule_function_audited, schedule_function_with, ScheduleAudit};
+use bsched_core::{schedule_function_audited, schedule_function_stats, ExactStats, ScheduleAudit};
 use bsched_ir::{ExecError, Interp, Program, VerifyError};
 use bsched_opt::{
     apply_locality, copy_propagate, dead_code_elim, local_cse, merge_straight_chains,
@@ -70,6 +70,10 @@ pub struct CompileStats {
     pub dce_removed: usize,
     /// Static instruction count of the final code.
     pub static_insts: usize,
+    /// Exact-search statistics (regions searched, optima proven, budget
+    /// fallbacks, nodes explored). All zeros unless the exact scheduler
+    /// arm ran.
+    pub exact: ExactStats,
 }
 
 /// A compiled program plus its statistics.
@@ -237,13 +241,12 @@ fn compile_inner(
     // 6. Basic-block scheduling.
     traced_pass("schedule", &mut p, |p| {
         if audited {
-            *sink = Some(schedule_function_audited(
-                p.main_mut(),
-                &opts.weight_config(),
-                opts.tie_break,
-            ));
+            let audit = schedule_function_audited(p.main_mut(), &opts.weight_config(), opts.tie_break);
+            stats.exact = audit.exact;
+            *sink = Some(audit);
         } else {
-            schedule_function_with(p.main_mut(), &opts.weight_config(), opts.tie_break);
+            stats.exact =
+                schedule_function_stats(p.main_mut(), &opts.weight_config(), opts.tie_break);
         }
     });
 

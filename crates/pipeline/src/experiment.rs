@@ -178,6 +178,7 @@ pub struct ExperimentBuilder {
     weight_cap: Option<u32>,
     tie_break: Option<TieBreak>,
     unroll_budget: Option<usize>,
+    exact_budget: Option<u64>,
     predicate: Option<bool>,
     selective: Option<bool>,
     reference_weights: bool,
@@ -262,6 +263,15 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn unroll_budget(mut self, budget: usize) -> Self {
         self.unroll_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the exact-search node budget (the
+    /// [`SchedulerKind::Exact`] arm only; a deterministic unit, part of
+    /// harness cache keys).
+    #[must_use]
+    pub fn exact_budget(mut self, budget: u64) -> Self {
+        self.exact_budget = Some(budget);
         self
     }
 
@@ -374,6 +384,9 @@ impl ExperimentBuilder {
             }
             if let Some(b) = self.unroll_budget {
                 o = o.with_unroll_budget(b);
+            }
+            if let Some(b) = self.exact_budget {
+                o = o.with_exact_budget(b);
             }
             if self.predicate == Some(false) {
                 o = o.without_predication();

@@ -34,6 +34,11 @@ pub struct CompileOptions {
     /// results are identical; only the compile cost differs. Used by the
     /// perf-trajectory benches to measure before/after in one binary.
     pub reference_weights: bool,
+    /// Per-region node budget for the [`SchedulerKind::Exact`]
+    /// branch-and-bound search. Deterministic and metrics-relevant (a
+    /// different budget can emit a different schedule), so it is part
+    /// of the harness cache key; ignored by the heuristic policies.
+    pub exact_budget: u64,
     /// Simulator configuration.
     pub sim: SimConfig,
 }
@@ -53,6 +58,7 @@ impl CompileOptions {
             unroll_budget: None,
             selective: true,
             reference_weights: false,
+            exact_budget: bsched_core::DEFAULT_EXACT_BUDGET,
             sim: SimConfig::default(),
         }
     }
@@ -130,10 +136,19 @@ impl CompileOptions {
         self
     }
 
+    /// Overrides the exact-search node budget (exact scheduler only).
+    #[must_use]
+    pub fn with_exact_budget(mut self, budget: u64) -> Self {
+        self.exact_budget = budget;
+        self
+    }
+
     /// The weight policy the scheduler actually runs with: under locality
     /// analysis, balanced scheduling becomes *selective* (hits keep the
     /// optimistic weight, §3.3). Traditional scheduling has no locality
-    /// counterpart (§5.4 footnote 3) and stays traditional.
+    /// counterpart (§5.4 footnote 3) and stays traditional. The exact
+    /// arm always searches under the plain balanced weight model — it
+    /// is the optimality bound the heuristics are measured against.
     #[must_use]
     pub fn weight_config(&self) -> WeightConfig {
         let kind = match (self.scheduler, self.locality && self.selective) {
@@ -143,6 +158,7 @@ impl CompileOptions {
         WeightConfig::new(kind)
             .with_cap(self.weight_cap)
             .with_reference(self.reference_weights)
+            .with_exact_budget(self.exact_budget)
     }
 
     /// A short label like `BS+LU4+TrS+LA` used in tables.
@@ -150,6 +166,7 @@ impl CompileOptions {
     pub fn label(&self) -> String {
         let mut s = String::from(match self.scheduler {
             SchedulerKind::Traditional => "TS",
+            SchedulerKind::Exact => "EX",
             _ => "BS",
         });
         if let Some(f) = self.unroll {

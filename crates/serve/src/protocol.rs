@@ -43,7 +43,10 @@ use std::fmt;
 
 /// Version of the wire schema. Bump whenever a frame's meaning changes;
 /// both ends refuse other versions instead of guessing.
-pub const WIRE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `CompileOptions` gained the exact scheduler arm
+/// (`"scheduler": "exact"`) and the required `exact_budget` field.
+pub const WIRE_SCHEMA_VERSION: u32 = 2;
 
 /// A protocol-level failure: the frame was valid JSON but not a valid
 /// message.
@@ -117,6 +120,7 @@ fn scheduler_to_str(k: SchedulerKind) -> &'static str {
         SchedulerKind::Traditional => "trad",
         SchedulerKind::Balanced => "bal",
         SchedulerKind::SelectiveBalanced => "selbal",
+        SchedulerKind::Exact => "exact",
     }
 }
 
@@ -125,8 +129,9 @@ fn scheduler_from_str(s: &str) -> Result<SchedulerKind, ProtoError> {
         "trad" | "traditional" | "TS" => Ok(SchedulerKind::Traditional),
         "bal" | "balanced" | "BS" => Ok(SchedulerKind::Balanced),
         "selbal" | "selective" => Ok(SchedulerKind::SelectiveBalanced),
+        "exact" | "EX" => Ok(SchedulerKind::Exact),
         other => Err(err(format!(
-            "unknown scheduler {other:?} (expected trad|bal|selbal)"
+            "unknown scheduler {other:?} (expected trad|bal|selbal|exact)"
         ))),
     }
 }
@@ -276,6 +281,7 @@ pub fn options_to_json(o: &CompileOptions) -> Json {
         ("unroll_budget", u64_or_null(o.unroll_budget.map(|b| b as u64))),
         ("selective", Json::Bool(o.selective)),
         ("reference_weights", Json::Bool(o.reference_weights)),
+        ("exact_budget", Json::u64(o.exact_budget)),
         ("sim", sim_to_json(&o.sim)),
     ])
 }
@@ -299,6 +305,7 @@ pub fn options_from_json(doc: &Json) -> Result<CompileOptions, ProtoError> {
     o.unroll_budget = opt_u64(doc, "unroll_budget")?.map(|b| b as usize);
     o.selective = get_bool(doc, "selective")?;
     o.reference_weights = get_bool(doc, "reference_weights")?;
+    o.exact_budget = get_u64(doc, "exact_budget")?;
     o.sim = sim_from_json(doc.get("sim").ok_or_else(|| err("missing field \"sim\""))?)?;
     Ok(o)
 }

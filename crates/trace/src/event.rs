@@ -42,6 +42,11 @@ pub mod points {
     /// load's index in the region's original order), `weight` (the
     /// policy's assigned latency weight).
     pub const SCHED_LOAD_WEIGHT: TraceId = TraceId::new("sched", "load_weight");
+    /// One exact-search budget exhaustion (instant): the branch-and-
+    /// bound arm fell back to its best-found-so-far schedule. Label:
+    /// function name. Args: `block`, `insts`, `nodes` (explored),
+    /// `best_cost`, `heuristic_cost`.
+    pub const SCHED_EXACT_FALLBACK: TraceId = TraceId::new("sched", "exact_fallback");
     /// One simulated run (span). Label: program name. Args: `cycles`,
     /// `load_interlock`.
     pub const SIM_RUN: TraceId = TraceId::new("sim", "run");

@@ -534,6 +534,7 @@ mod tests {
                 weights,
                 order: vec![0, 1, 2],
             }],
+            exact: Default::default(),
         };
         let v = check_weights(&audit);
         assert!(matches!(

@@ -20,7 +20,7 @@ use crate::differential::{check_checksum_with_fuel, check_engines, check_weights
 use crate::legality::validate_region_schedule;
 use crate::metamorphic::check_metrics;
 use bsched_core::SchedulerKind;
-use bsched_pipeline::{Experiment, OptLevel, SampleConfig, SimEngine, SimMode};
+use bsched_pipeline::{Experiment, ExperimentBuilder, OptLevel, SampleConfig, SimEngine, SimMode};
 use bsched_util::Prng;
 use bsched_workloads::lang::{print_kernel, ArrId, ArrayInit, CmpOp, Expr, Index, Kernel, Stmt, VarId};
 use std::time::{Duration, Instant};
@@ -109,6 +109,11 @@ struct Case {
     scheduler: SchedulerKind,
     engine: SimEngine,
     sample: Option<SampleConfig>,
+    /// When set, the cell runs the exact branch-and-bound scheduler arm
+    /// with this node budget instead of the drawn heuristic. Budget 0
+    /// is deliberately in the pool: it must reproduce the balanced
+    /// schedule exactly, so any failure it triggers is a reporting bug.
+    exact: Option<u64>,
 }
 
 impl Case {
@@ -297,6 +302,16 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
     } else {
         None
     };
+    // The exact-scheduler axis is drawn last (after `sample`) so its
+    // addition left every earlier draw — and hence every kernel, grid
+    // point, and sampling config a given seed generates — unchanged.
+    // Small budgets keep generated-kernel searches cheap while still
+    // exercising both the proven and the budget-fallback paths.
+    let exact = if rng.index(4) == 0 {
+        Some([0u64, 64, 4096][rng.index(3)])
+    } else {
+        None
+    };
     Case {
         decls,
         pinned,
@@ -305,6 +320,18 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
         scheduler,
         engine,
         sample,
+        exact,
+    }
+}
+
+/// Applies the exact-scheduler axis to a builder: when drawn, the cell
+/// compiles under the branch-and-bound arm with the drawn node budget
+/// (overriding the heuristic scheduler axis, which still seeded every
+/// earlier draw).
+fn exact_arm(builder: ExperimentBuilder, exact: Option<u64>) -> ExperimentBuilder {
+    match exact {
+        Some(budget) => builder.scheduler(SchedulerKind::Exact).exact_budget(budget),
+        None => builder,
     }
 }
 
@@ -316,14 +343,18 @@ fn check_kernel(
     scheduler: SchedulerKind,
     engine: SimEngine,
     sample: Option<SampleConfig>,
+    exact: Option<u64>,
 ) -> Vec<String> {
     let mut messages = Vec::new();
-    let session = match Experiment::builder()
-        .program(kernel.name(), kernel.lower())
-        .opts(level)
-        .scheduler(scheduler)
-        .engine(engine)
-        .build()
+    let session = match exact_arm(
+        Experiment::builder()
+            .program(kernel.name(), kernel.lower())
+            .opts(level)
+            .scheduler(scheduler)
+            .engine(engine),
+        exact,
+    )
+    .build()
     {
         Ok(s) => s,
         Err(e) => return vec![format!("experiment build failed: {e}")],
@@ -365,7 +396,7 @@ fn check_kernel(
             None
         }
     };
-    if let (Some(sample), Some(exact)) = (sample, exact_run) {
+    if let (Some(sample), Some(baseline)) = (sample, exact_run) {
         // The sampled mode must run wherever the exact mode did, and its
         // functional outcome (instruction counts, checksum) is exact by
         // construction — any divergence is a sampling bug, as is a
@@ -373,20 +404,23 @@ fn check_kernel(
         // coverage. Timing *estimates* are not judged here: tolerance
         // bounds belong to the grid regression suite, not to arbitrary
         // generated kernels.
-        let sampled_session = Experiment::builder()
-            .program(kernel.name(), kernel.lower())
-            .opts(level)
-            .scheduler(scheduler)
-            .engine(engine)
-            .sim_mode(SimMode::Sampled(sample))
-            .build()
-            .expect("exact build above succeeded");
+        let sampled_session = exact_arm(
+            Experiment::builder()
+                .program(kernel.name(), kernel.lower())
+                .opts(level)
+                .scheduler(scheduler)
+                .engine(engine)
+                .sim_mode(SimMode::Sampled(sample)),
+            exact,
+        )
+        .build()
+        .expect("exact build above succeeded");
         match sampled_session.run() {
             Ok(run) => {
-                if run.metrics.insts != exact.metrics.insts {
+                if run.metrics.insts != baseline.metrics.insts {
                     messages.push(format!(
                         "sampled instruction counts diverged: exact {:?}, sampled {:?}",
-                        exact.metrics.insts, run.metrics.insts
+                        baseline.metrics.insts, run.metrics.insts
                     ));
                 }
                 if !run.checksum_ok {
@@ -495,12 +529,18 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         // randomness) can never desynchronize later iterations.
         let mut case_rng = rng.fork();
         let case = gen_case(&mut case_rng, iteration);
-        let messages =
-            check_kernel(&case.kernel(), case.level, case.scheduler, case.engine, case.sample);
+        let messages = check_kernel(
+            &case.kernel(),
+            case.level,
+            case.scheduler,
+            case.engine,
+            case.sample,
+            case.exact,
+        );
         if !messages.is_empty() {
-            // Shrinking replays the checks under the case's own engine
-            // and sampling config, so an engine- or sampling-specific
-            // failure stays reproducible while it shrinks.
+            // Shrinking replays the checks under the case's own engine,
+            // sampling config, and exact-scheduler axis, so an axis-
+            // specific failure stays reproducible while it shrinks.
             let minimal = shrink_stmts(case.stmts.clone(), &mut |stmts| {
                 !check_kernel(
                     &case.kernel_with(stmts),
@@ -508,31 +548,45 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                     case.scheduler,
                     case.engine,
                     case.sample,
+                    case.exact,
                 )
                 .is_empty()
             });
             let kernel = case.kernel_with(&minimal);
-            let messages =
-                check_kernel(&kernel, case.level, case.scheduler, case.engine, case.sample);
-            let session = Experiment::builder()
-                .program(kernel.name(), kernel.lower())
-                .opts(case.level)
-                .scheduler(case.scheduler)
-                .engine(case.engine)
-                .build()
-                .expect("program supplied directly");
+            let messages = check_kernel(
+                &kernel,
+                case.level,
+                case.scheduler,
+                case.engine,
+                case.sample,
+                case.exact,
+            );
+            let session = exact_arm(
+                Experiment::builder()
+                    .program(kernel.name(), kernel.lower())
+                    .opts(case.level)
+                    .scheduler(case.scheduler)
+                    .engine(case.engine),
+                case.exact,
+            )
+            .build()
+            .expect("program supplied directly");
             report.failures.push(FuzzFailure {
                 iteration,
                 label: session.label(),
                 messages,
                 reproducer: format!(
-                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine{}\n{}",
+                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine{}{}\n{}",
                     config.seed,
                     case.level,
                     case.scheduler,
                     case.engine,
                     match case.sample {
                         Some(s) => format!(" x sample {s}"),
+                        None => String::new(),
+                    },
+                    match case.exact {
+                        Some(b) => format!(" x exact budget {b}"),
                         None => String::new(),
                     },
                     print_kernel(&kernel)
@@ -557,6 +611,7 @@ mod tests {
         assert_eq!(k1.scheduler, k2.scheduler);
         assert_eq!(k1.engine, k2.engine);
         assert_eq!(k1.sample, k2.sample);
+        assert_eq!(k1.exact, k2.exact);
         let k3 = gen_case(&mut Prng::new(43), 7);
         assert_ne!(print_kernel(&k1.kernel()), print_kernel(&k3.kernel()));
     }

@@ -103,6 +103,20 @@ disabled="$(BSCHED_SAMPLE=0 BSCHED_CACHE_DIR="$SMOKE_CACHE" \
 [ "$disabled" = "$cold" ] \
     || { echo "FAIL: BSCHED_SAMPLE=0 must leave exact stdout byte-identical"; exit 1; }
 
+echo "== smoke: exact scheduler arm vs recorded BENCH_pr9.json baseline =="
+# The optimality table on 2 kernels at the default node budget. The
+# binary itself is the gate: every audited region is legality-checked,
+# and each arm's cost is asserted >= the exact bound before a row
+# prints. --check then compares the search against the committed
+# baseline — the proven fraction must not fall below 90% of the
+# recorded value and the expanded node count must not grow by more
+# than 1/0.9 (search-quality regressions, not wall time, so the check
+# is machine-independent). The full 17-kernel table is recorded in the
+# committed BENCH_pr9.json and results/optimality.csv.
+./target/release/optimality --kernels TRFD,ARC2D \
+    --check "$PWD/BENCH_pr9.json" --check-ratio 0.9 >/dev/null \
+    || { echo "FAIL: exact-arm optimality check"; exit 1; }
+
 echo "== smoke: sampling microbench vs recorded BENCH_pr8.json baseline =="
 # Re-measures the per-kernel exact-vs-sampled cells (accuracy bounds
 # asserted inside the bench) and fails if any case's speedup ratio fell
