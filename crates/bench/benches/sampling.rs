@@ -17,8 +17,8 @@
 //! Exact-by-construction observables (instruction counts, checksum) are
 //! asserted bit-identical on every cell.
 //!
-//! Sampled timing splits one-time plan construction (profile + k-means
-//! + checkpoints, cached process-wide) from the warm per-run replay:
+//! Sampled timing splits one-time plan construction (profile, k-means,
+//! checkpoints; cached process-wide) from the warm per-run replay:
 //! `plan_ns` records the cold pass, `sampled_ns` the warm passes a
 //! sweep actually repeats. Grid passes interleave exact → sampled
 //! within each repetition and the ratios use per-arm minima, so a burst
@@ -39,7 +39,7 @@
 
 use bsched_bench::microbench::bench;
 use bsched_pipeline::{standard_grid, CompileOptions, Experiment, SchedulerKind};
-use bsched_sim::{SampleConfig, SimConfig, SimEngine, SimMode, SimResult, Simulator};
+use bsched_sim::{MachineSpec, SampleConfig, SimConfig, SimEngine, SimMode, SimResult, Simulator};
 use bsched_verify::{
     sampling_rel_err, SAMPLING_CPI_MEAN_TOL, SAMPLING_CPI_TOL, SAMPLING_FLOOR_FRAC,
 };
@@ -108,7 +108,7 @@ impl Case {
         self.exact_min_ns as f64 / self.sampled_min_ns.max(1) as f64
     }
 
-    fn from_errs(mut self, errs: &[CellErr]) -> Case {
+    fn with_errs(mut self, errs: &[CellErr]) -> Case {
         let n = errs.len().max(1) as f64;
         self.cpi_mean_err = errs.iter().map(|e| e.cpi).sum::<f64>() / n;
         self.cpi_max_err = errs.iter().map(|e| e.cpi).fold(0.0, f64::max);
@@ -140,7 +140,7 @@ impl Case {
 }
 
 fn run(program: &bsched_ir::Program, sim: SimConfig, mode: SimMode) -> SimResult {
-    Simulator::with_config(program, sim)
+    Simulator::for_machine(program, &MachineSpec::custom(sim))
         .with_engine(SimEngine::BlockCompiled)
         .with_mode(mode)
         .run()
@@ -189,7 +189,7 @@ fn measure_cell(name: &str, program: &bsched_ir::Program, sim: SimConfig, mode: 
         interlock_max_err: 0.0,
         miss_max_err: 0.0,
     }
-    .from_errs(&errs);
+    .with_errs(&errs);
     print_case(&case);
     case.assert_within_bounds();
     case
@@ -277,7 +277,7 @@ fn measure_grid(mode: SimMode) -> Case {
         interlock_max_err: 0.0,
         miss_max_err: 0.0,
     }
-    .from_errs(&errs);
+    .with_errs(&errs);
     print_case(&case);
     println!(
         "    exact {:.3}s/pass, sampled {:.3}s/pass warm ({passes} passes each), \

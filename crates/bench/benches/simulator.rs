@@ -43,7 +43,7 @@
 
 use bsched_bench::microbench::bench;
 use bsched_pipeline::{standard_grid, CompileOptions, Experiment, SchedulerKind};
-use bsched_sim::{SimConfig, SimEngine, SimResult, Simulator};
+use bsched_sim::{MachineSpec, SimConfig, SimEngine, SimResult, Simulator};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -94,7 +94,7 @@ fn compile_cell(kernel: &str, options: CompileOptions) -> (bsched_ir::Program, S
 }
 
 fn run(program: &bsched_ir::Program, sim: SimConfig, engine: SimEngine) -> SimResult {
-    Simulator::with_config(program, sim)
+    Simulator::for_machine(program, &MachineSpec::custom(sim))
         .with_engine(engine)
         .run()
         .expect("simulates")

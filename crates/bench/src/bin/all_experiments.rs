@@ -28,6 +28,13 @@
 //! like `k=8,interval=1000` overrides it. Invalid specs are rejected
 //! with the valid format and exit code 2.
 //!
+//! `--machine NAME[+mods]` (or `--machine=SPEC`, or
+//! `BSCHED_MACHINE=SPEC`) re-targets the whole grid at a registered
+//! machine description — e.g. `alpha21264` or
+//! `alpha21164+bp=gshare+iw=4+ports=2` (see `bsched_sim::MachineSpec`).
+//! Unknown names and malformed modifiers are rejected with the valid
+//! choices and exit code 2. The flag beats the environment variable.
+//!
 //! `--verify` runs the `bsched-verify` conformance suite on every
 //! executed cell (schedule legality, weight cross-check, differential
 //! replay, engine cross-check, metamorphic invariants);
@@ -64,6 +71,13 @@ fn parse_sample(raw: &str) -> bsched_pipeline::SampleConfig {
     })
 }
 
+fn parse_machine(raw: &str) -> bsched_pipeline::MachineSpec {
+    raw.trim().parse().unwrap_or_else(|e: String| {
+        eprintln!("--machine: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn parse_kernel_list(raw: &str) -> Vec<String> {
     if raw.trim().is_empty() {
         eprintln!(
@@ -80,6 +94,7 @@ struct Cli {
     verify: bool,
     engine: Option<bsched_pipeline::SimEngine>,
     sample: Option<bsched_pipeline::SampleConfig>,
+    machine: Option<bsched_pipeline::MachineSpec>,
     filter: Option<Vec<String>>,
     fuzz: Option<u64>,
     fuzz_seed: u64,
@@ -99,7 +114,12 @@ impl Cli {
 /// Fails fast (exit 2) when a trace export path cannot be opened for
 /// writing, before any cell executes.
 fn ensure_writable(flag: &str, path: &str) {
-    let probe = std::fs::OpenOptions::new().write(true).create(true).open(path);
+    // A writability probe must not clobber an existing file's contents.
+    let probe = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path);
     if let Err(e) = probe {
         eprintln!("{flag}: cannot write {path}: {e}");
         std::process::exit(2);
@@ -112,6 +132,7 @@ fn parse_args(args: &[String]) -> Cli {
         verify: false,
         engine: None,
         sample: None,
+        machine: None,
         filter: None,
         fuzz: None,
         fuzz_seed: 0xB5ED,
@@ -154,6 +175,11 @@ fn parse_args(args: &[String]) -> Cli {
             cli.sample = Some(bsched_pipeline::SampleConfig::default());
         } else if let Some(v) = a.strip_prefix("--sample=") {
             cli.sample = Some(parse_sample(v));
+        } else if a == "--machine" {
+            cli.machine = Some(parse_machine(&value(i, "--machine")));
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--machine=") {
+            cli.machine = Some(parse_machine(v));
         } else if a == "--kernels" {
             cli.filter = Some(parse_kernel_list(&value(i, "--kernels")));
             i += 1;
@@ -276,7 +302,18 @@ fn main() {
         // The flag beats BSCHED_SAMPLE.
         engine_cfg.sim_mode = bsched_pipeline::SimMode::Sampled(sample);
     }
-    let grid = Grid::with_engine(Engine::with_standard_kernels(engine_cfg));
+    // The flag beats BSCHED_MACHINE.
+    let machine = cli.machine.clone().or_else(|| {
+        bsched_pipeline::MachineSpec::from_env().unwrap_or_else(|e| {
+            eprintln!("BSCHED_MACHINE: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut grid = Grid::with_engine(Engine::with_standard_kernels(engine_cfg));
+    if let Some(m) = machine {
+        eprintln!("machine: {m}");
+        grid = grid.with_machine(m);
+    }
     let configs = standard_grid();
     let kernels: Vec<String> = match &filter {
         None => grid.kernel_names(),
@@ -295,7 +332,11 @@ fn main() {
     };
     let cells: Vec<ExperimentCell> = kernels
         .iter()
-        .flat_map(|k| configs.iter().map(|c| ExperimentCell::new(k, c.options())))
+        .flat_map(|k| {
+            configs
+                .iter()
+                .map(|c| ExperimentCell::new(k, grid.resolve_options(&c.options())))
+        })
         .collect();
     grid.prefetch_cells(&cells);
 

@@ -208,7 +208,7 @@ fn audited_legal(
 ) -> bsched_core::ScheduleAudit {
     let session = Experiment::builder()
         .kernel(kernel)
-        .compile_options(opts.clone())
+        .compile_options(opts)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("{kernel}: build failed: {e}");
@@ -288,7 +288,7 @@ fn main() {
         .filter(|cfg| {
             cli.arms
                 .as_ref()
-                .map_or(true, |arms| arms.iter().any(|a| a == arm_label(cfg)))
+                .is_none_or(|arms| arms.iter().any(|a| a == arm_label(cfg)))
         })
         .collect();
 

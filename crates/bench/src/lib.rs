@@ -14,11 +14,12 @@ pub mod microbench;
 
 use bsched_harness::{Engine, EngineConfig, ExperimentCell, RunReport};
 use bsched_pipeline::{CompileOptions, ConfigKind, ExperimentConfig, SchedulerKind};
-use bsched_sim::SimMetrics;
+use bsched_sim::{MachineSpec, SimConfig, SimMetrics};
 
 /// A harness-backed grid runner over the 17-kernel workload.
 pub struct Grid {
     engine: Engine,
+    machine: Option<MachineSpec>,
 }
 
 impl Default for Grid {
@@ -29,19 +30,57 @@ impl Default for Grid {
 
 impl Grid {
     /// Lowers every kernel once and configures the engine from the
-    /// environment (`BSCHED_JOBS`, `BSCHED_NO_CACHE`, `BSCHED_CACHE_DIR`).
+    /// environment (`BSCHED_JOBS`, `BSCHED_NO_CACHE`, `BSCHED_CACHE_DIR`,
+    /// and `BSCHED_MACHINE` — see [`Grid::with_machine`]).
+    ///
+    /// A malformed `BSCHED_MACHINE` reports the shared spec-grammar
+    /// error and exits with status 2, like every other env knob.
     #[must_use]
     pub fn new() -> Self {
+        let machine = MachineSpec::from_env()
+            .unwrap_or_else(|e| bsched_util::spec::exit2("BSCHED_MACHINE", &e));
         Grid {
             engine: Engine::with_standard_kernels(EngineConfig::from_env()),
+            machine,
         }
     }
 
     /// A grid over an explicit engine (tests use this to control the
-    /// worker count and cache directory).
+    /// worker count and cache directory). No machine override.
     #[must_use]
     pub fn with_engine(engine: Engine) -> Self {
-        Grid { engine }
+        Grid {
+            engine,
+            machine: None,
+        }
+    }
+
+    /// Re-targets the grid at `machine`: every configuration that does
+    /// not explicitly pick a non-default machine runs on it instead of
+    /// the paper's `alpha21164`. Configurations whose options already
+    /// set a custom `sim` (machine-sweep binaries like `superscalar`)
+    /// keep their explicit choice.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineSpec) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// The machine override, when one is active (from
+    /// [`Grid::with_machine`] or `BSCHED_MACHINE`).
+    #[must_use]
+    pub fn machine(&self) -> Option<&MachineSpec> {
+        self.machine.as_ref()
+    }
+
+    /// Applies the machine override to one option set: default-machine
+    /// options are re-targeted, explicitly-machined options pass through.
+    #[must_use]
+    pub fn resolve_options(&self, o: &CompileOptions) -> CompileOptions {
+        match &self.machine {
+            Some(m) if o.sim == SimConfig::alpha21164() => o.with_sim(m.config()),
+            _ => *o,
+        }
     }
 
     /// The underlying engine.
@@ -79,7 +118,7 @@ impl Grid {
         let mut cells = Vec::with_capacity(self.kernel_names().len() * opts.len());
         for kernel in self.kernel_names() {
             for o in opts {
-                cells.push(ExperimentCell::new(&kernel, o.clone()));
+                cells.push(ExperimentCell::new(&kernel, self.resolve_options(o)));
             }
         }
         self.prefetch_cells(&cells);
@@ -113,7 +152,7 @@ impl Grid {
     ///
     /// Panics if the pipeline fails.
     pub fn metrics_for(&self, kernel: &str, opts: &CompileOptions) -> SimMetrics {
-        let cell = ExperimentCell::new(kernel, opts.clone());
+        let cell = ExperimentCell::new(kernel, self.resolve_options(opts));
         self.engine
             .metrics(&cell)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -159,5 +198,35 @@ pub fn pct_decrease(from: u64, to: u64) -> f64 {
         0.0
     } else {
         (from as f64 - to as f64) / from as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_grid() -> Grid {
+        let config = EngineConfig {
+            jobs: 1,
+            disk_cache: false,
+            ..EngineConfig::default()
+        };
+        Grid::with_engine(Engine::with_standard_kernels(config))
+    }
+
+    #[test]
+    fn machine_override_retargets_default_options_only() {
+        let wide: MachineSpec = "wide4".parse().unwrap();
+        let grid = quiet_grid().with_machine(wide.clone());
+        // Default-machine options follow the override.
+        let o = CompileOptions::new(SchedulerKind::Balanced);
+        assert_eq!(grid.resolve_options(&o).sim, wide.config());
+        // Explicitly-machined options keep their choice.
+        let explicit = o.with_sim(SimConfig::default().with_mshrs(1));
+        assert_eq!(grid.resolve_options(&explicit).sim.mem.mshrs, 1);
+        // No override: options pass through untouched.
+        let plain = quiet_grid();
+        assert_eq!(plain.resolve_options(&o).sim, SimConfig::alpha21164());
+        assert!(plain.machine().is_none());
     }
 }

@@ -1,6 +1,6 @@
-//! CLI-contract tests for `all_experiments` and `optimality`: argument
-//! validation must fail fast (exit code 2) with actionable messages,
-//! before any cell executes.
+//! CLI-contract tests for `all_experiments`, `optimality`, and
+//! `machines`: argument validation must fail fast (exit code 2) with
+//! actionable messages, before any cell executes.
 
 use std::process::Command;
 
@@ -10,6 +10,10 @@ fn all_experiments() -> Command {
 
 fn optimality() -> Command {
     Command::new(env!("CARGO_BIN_EXE_optimality"))
+}
+
+fn machines() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_machines"))
 }
 
 #[test]
@@ -322,6 +326,137 @@ fn trace_summary_composes_with_verify_and_kernels() {
         err.contains("── bsched-trace summary"),
         "--trace-summary section missing: {err}"
     );
+}
+
+#[test]
+fn unknown_machine_specs_are_rejected_with_the_valid_choices() {
+    for args in [vec!["--machine", "nonesuch"], vec!["--machine=nonesuch"]] {
+        let out = all_experiments().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--machine"), "{args:?} must name the flag: {err}");
+        assert!(err.contains("nonesuch"), "{args:?}: {err}");
+        assert!(
+            err.contains("alpha21164") && err.contains("wide4"),
+            "{args:?} must list valid machines: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{args:?} must not start the grid");
+    }
+    let out = all_experiments().arg("--machine").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--machine"));
+}
+
+#[test]
+fn malformed_machine_modifiers_are_rejected_with_the_valid_grammar() {
+    for (arg, needle) in [
+        ("--machine=alpha21164+bp=bogus", "valid predictors"),
+        ("--machine=alpha21164+iw=0", "issue width"),
+        ("--machine=alpha21164+mshrs=0", "at least one MSHR"),
+        ("--machine=alpha21164+ports=9", "memory ports"),
+        ("--machine=alpha21164+frob=1", "unknown key \"frob\""),
+    ] {
+        let out = all_experiments().arg(arg).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{arg:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{arg:?}: {err}");
+        assert!(
+            err.contains("NAME[+bp="),
+            "{arg:?} must show the spec grammar: {err}"
+        );
+        assert!(out.stdout.is_empty(), "{arg:?} must not start the grid");
+    }
+}
+
+#[test]
+fn invalid_bsched_machine_fails_loudly_instead_of_degrading() {
+    for bad in ["nonesuch", "alpha21164+ports=9", "alpha21164+mshrs=0"] {
+        let out = all_experiments()
+            .args(["--kernels", "TRFD"])
+            .env("BSCHED_MACHINE", bad)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "BSCHED_MACHINE={bad:?} must exit 2, not fall back to the default machine"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("BSCHED_MACHINE"), "{bad:?}: {err}");
+        assert!(out.stdout.is_empty(), "{bad:?} must not start the grid");
+    }
+}
+
+/// `--machine` beats `BSCHED_MACHINE`, and both re-target the grid to
+/// the same bytes; a valid override runs end to end.
+#[test]
+fn machine_flag_beats_the_environment_and_retargets_the_grid() {
+    let run = |args: &[&str], env_machine: Option<&str>| {
+        let mut cmd = all_experiments();
+        cmd.args(["--kernels", "TRFD"])
+            .args(args)
+            .env("BSCHED_JOBS", "2")
+            .env("BSCHED_NO_CACHE", "1");
+        if let Some(m) = env_machine {
+            cmd.env("BSCHED_MACHINE", m);
+        }
+        cmd.output().unwrap()
+    };
+    let default = run(&[], None);
+    let flagged = run(&["--machine", "wide4"], None);
+    let enved = run(&[], Some("wide4"));
+    // The flag wins even over an invalid environment value.
+    let beats = run(&["--machine", "wide4"], Some("nonesuch"));
+    for (name, out) in [
+        ("default", &default),
+        ("flagged", &flagged),
+        ("enved", &enved),
+        ("beats", &beats),
+    ] {
+        assert!(
+            out.status.success(),
+            "{name} run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(flagged.stdout, enved.stdout, "flag and env must agree");
+    assert_eq!(flagged.stdout, beats.stdout, "the flag must beat the env");
+    assert_ne!(
+        default.stdout, flagged.stdout,
+        "wide4 must actually change the table"
+    );
+    let err = String::from_utf8_lossy(&flagged.stderr);
+    assert!(err.contains("machine: wide4"), "stderr must name the machine: {err}");
+}
+
+#[test]
+fn machines_binary_rejects_bad_specs_kernels_and_flags() {
+    for (args, needle) in [
+        (vec!["--machines", "nonesuch"], "valid machines"),
+        (vec!["--machines=alpha21164+bp=bogus"], "valid predictors"),
+        (vec!["--machines="], "at least one machine spec"),
+        (vec!["--kernels", "nonesuch"], "TRFD"),
+        (vec!["--engine", "bogus"], "interpret"),
+        (vec!["--frobnicate"], "--frobnicate"),
+    ] {
+        let out = machines().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(out.stdout.is_empty(), "{args:?} must not start the grid");
+    }
+}
+
+#[test]
+fn machines_check_fails_on_missing_or_disjoint_baselines() {
+    let out = machines()
+        .args(["--kernels", "TRFD", "--machines", "alpha21164", "--check"])
+        .arg("/nonexistent-bsched-dir/baseline.json")
+        .env("BSCHED_NO_CACHE", "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("could not read baseline"));
 }
 
 #[test]

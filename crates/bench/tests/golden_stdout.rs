@@ -17,7 +17,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p bsched-bench --test golden_stdout
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn workspace_root() -> PathBuf {
@@ -111,7 +111,7 @@ fn run_with(name: &str, exe: &str, root: &PathBuf, args: &[&str], envs: &[(&str,
     String::from_utf8(out.stdout).expect("stdout is UTF-8")
 }
 
-fn check_against(name: &str, root: &PathBuf, stdout: &str) -> String {
+fn check_against(name: &str, root: &Path, stdout: &str) -> String {
     let golden = root.join("tests/golden").join(format!("{name}.txt"));
     if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
         std::fs::create_dir_all(golden.parent().unwrap()).unwrap();

@@ -109,24 +109,24 @@ fn assert_kernel_matches_reference(seed: u64, cases: usize, max_len: usize) {
 
 #[test]
 fn kernel_matches_reference_on_small_random_dags() {
-    assert_kernel_matches_reference(0xB5CED_0001, 24, 32);
+    assert_kernel_matches_reference(0xB_5CED_0001, 24, 32);
 }
 
 #[test]
 fn kernel_matches_reference_on_medium_random_dags() {
-    assert_kernel_matches_reference(0xB5CED_0002, 12, 96);
+    assert_kernel_matches_reference(0xB_5CED_0002, 12, 96);
 }
 
 #[test]
 fn kernel_matches_reference_on_unroll_sized_random_dags() {
     // Region sizes past the paper's unrolled-body budget, crossing the
     // 64-load word boundary so multi-word bitset rows are exercised.
-    assert_kernel_matches_reference(0xB5CED_0003, 6, 224);
+    assert_kernel_matches_reference(0xB_5CED_0003, 6, 224);
 }
 
 #[test]
 fn reference_config_flag_agrees_with_direct_reference_call() {
-    let mut rng = Prng::new(0xB5CED_0004);
+    let mut rng = Prng::new(0xB_5CED_0004);
     let insts = random_region(&mut rng, 48);
     let dag = Dag::new(&insts);
     let config = WeightConfig::new(SchedulerKind::Balanced).with_reference(true);

@@ -28,7 +28,12 @@ use std::hash::{Hash, Hasher};
 /// schedule for the same cell — so it must key the cache; its unit is
 /// deterministic search nodes, never wall clock, so budgeted results
 /// stay machine-independent and cacheable.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: the MachineSpec redesign added three metrics-relevant machine
+/// axes — the branch-predictor kind (`bp_kind=`), the L1D prefetcher
+/// (`prefetch=`), and the MSHR policy (`mshr_policy=`) — and the cached
+/// memory stats gained prefetch counters.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// One deduplicated unit of experimental work: a kernel compiled under
 /// one full option set (the options embed the simulated machine).
@@ -169,8 +174,10 @@ fn canon_sim(c: &SimConfig, s: &mut String) {
     canon_mem(&c.mem, s);
     let _ = write!(
         s,
-        ";bp_entries={};bp_penalty={}",
-        c.branch.entries, c.branch.mispredict_penalty
+        ";bp_kind={};bp_entries={};bp_penalty={}",
+        c.branch.kind.label(),
+        c.branch.entries,
+        c.branch.mispredict_penalty
     );
     let _ = write!(s, ";fuel={}", c.fuel);
     let _ = write!(s, ";ifetch={}", u8::from(c.model_ifetch));
@@ -187,6 +194,12 @@ fn canon_mem(m: &MemConfig, s: &mut String) {
         Some(c) => canon_cache("l3", c, s),
     }
     let _ = write!(s, ";mem_latency={};mshrs={}", m.mem_latency, m.mshrs);
+    let _ = write!(
+        s,
+        ";prefetch={};mshr_policy={}",
+        m.prefetch.label(),
+        m.mshr_policy.label()
+    );
     let _ = write!(
         s,
         ";dtb={};itb={};page={};tlb_penalty={}",
@@ -245,10 +258,29 @@ mod tests {
             cell(base().with_reference_weights()),
             cell(CompileOptions::new(SchedulerKind::Exact)),
             cell(base().with_exact_budget(7)),
-            cell(base().with_sim(SimConfig::default().with_issue_width(4))),
+            cell(base().with_sim(SimConfig::default().with_issue(4, 2))),
+            cell(base().with_sim(SimConfig::default().with_issue(4, 4))),
             cell(base().with_sim(SimConfig::default().with_mshrs(1))),
             cell(base().with_sim(SimConfig::default().with_ifetch(false))),
             cell(base().with_sim(SimConfig::default().simple_model_1993())),
+            cell(base().with_sim(
+                SimConfig::default().with_predictor(bsched_sim::PredictorKind::Gshare),
+            )),
+            cell(base().with_sim(
+                SimConfig::default().with_predictor(bsched_sim::PredictorKind::TageLite),
+            )),
+            cell(base().with_sim(
+                SimConfig::default().with_prefetch(bsched_mem::PrefetchKind::NextLine),
+            )),
+            cell(base().with_sim(
+                SimConfig::default().with_prefetch(bsched_mem::PrefetchKind::Stride),
+            )),
+            cell(base().with_sim(
+                SimConfig::default().with_mshr_policy(bsched_mem::MshrPolicy::NoMerge),
+            )),
+            cell(base().with_sim(
+                SimConfig::default().with_mshr_policy(bsched_mem::MshrPolicy::Blocking),
+            )),
         ];
         let mut all = vec![reference.clone()];
         all.extend(variants.iter().cloned());
@@ -280,7 +312,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable_and_total() {
-        let mut cells = vec![
+        let mut cells = [
             ExperimentCell::new("b", base()),
             ExperimentCell::new("a", base().with_unroll(4)),
             ExperimentCell::new("a", base()),

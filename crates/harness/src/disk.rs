@@ -153,6 +153,8 @@ fn encode_mem(s: &MemStats) -> Json {
         ("icache_misses", Json::u64(s.icache_misses)),
         ("stores", Json::u64(s.stores)),
         ("wb_stall_cycles", Json::u64(s.wb_stall_cycles)),
+        ("prefetches", Json::u64(s.prefetches)),
+        ("prefetch_useful", Json::u64(s.prefetch_useful)),
     ])
 }
 
@@ -196,6 +198,8 @@ pub fn decode_metrics(doc: &Json) -> Option<SimMetrics> {
             icache_misses: mu("icache_misses")?,
             stores: mu("stores")?,
             wb_stall_cycles: mu("wb_stall_cycles")?,
+            prefetches: mu("prefetches")?,
+            prefetch_useful: mu("prefetch_useful")?,
         },
     })
 }

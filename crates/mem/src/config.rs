@@ -1,4 +1,128 @@
-//! Memory-system configuration (the paper's Table 2).
+//! Memory-system configuration (the paper's Table 2, plus the machine
+//! zoo's prefetch and MSHR-policy axes).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Hardware L1 data prefetcher (demand-miss triggered).
+///
+/// Prefetches are issued only on true L1D read misses, only within the
+/// missing page, and only into *free* MSHR capacity — they never stall
+/// or displace a demand miss. A prefetch fills the L1 line and occupies
+/// an MSHR entry until its fill lands, so demand reads that arrive
+/// while it is in flight merge with it exactly like secondary demand
+/// misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetchKind {
+    /// No prefetching (the paper's machine).
+    #[default]
+    None,
+    /// Fetch line `n + 1` on a demand miss to line `n`.
+    NextLine,
+    /// Fetch line `n + d` when two consecutive demand misses repeat the
+    /// same non-zero line stride `d`.
+    Stride,
+}
+
+impl PrefetchKind {
+    /// Short stable name, used by machine specs and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchKind::None => "none",
+            PrefetchKind::NextLine => "nextline",
+            PrefetchKind::Stride => "stride",
+        }
+    }
+
+    /// The valid spellings, for error messages.
+    #[must_use]
+    pub fn valid_choices() -> &'static str {
+        "none, nextline, stride"
+    }
+}
+
+impl fmt::Display for PrefetchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PrefetchKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" | "off" => Ok(PrefetchKind::None),
+            "nextline" | "next-line" => Ok(PrefetchKind::NextLine),
+            "stride" => Ok(PrefetchKind::Stride),
+            other => Err(bsched_util::spec::unknown(
+                "prefetcher",
+                other,
+                &format!("valid prefetchers: {}", PrefetchKind::valid_choices()),
+            )),
+        }
+    }
+}
+
+/// What the L1D miss-address file does with a read whose line already
+/// has an outstanding miss, and whether misses overlap at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MshrPolicy {
+    /// Lockup-free with merging (the paper's machine): secondary misses
+    /// join the outstanding entry and wait for its fill.
+    #[default]
+    Merge,
+    /// Lockup-free without merging: a secondary miss stalls the
+    /// pipeline until the outstanding fill lands, then reads the
+    /// just-filled line from L1.
+    NoMerge,
+    /// A blocking cache: any read issued while *any* miss is
+    /// outstanding stalls until every outstanding fill lands
+    /// (independent of `mshrs`, which only matters for overlap).
+    Blocking,
+}
+
+impl MshrPolicy {
+    /// Short stable name, used by machine specs and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MshrPolicy::Merge => "merge",
+            MshrPolicy::NoMerge => "nomerge",
+            MshrPolicy::Blocking => "blocking",
+        }
+    }
+
+    /// The valid spellings, for error messages.
+    #[must_use]
+    pub fn valid_choices() -> &'static str {
+        "merge, nomerge, blocking"
+    }
+}
+
+impl fmt::Display for MshrPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for MshrPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "merge" => Ok(MshrPolicy::Merge),
+            "nomerge" | "no-merge" => Ok(MshrPolicy::NoMerge),
+            "blocking" => Ok(MshrPolicy::Blocking),
+            other => Err(bsched_util::spec::unknown(
+                "MSHR policy",
+                other,
+                &format!("valid MSHR policies: {}", MshrPolicy::valid_choices()),
+            )),
+        }
+    }
+}
 
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +184,12 @@ pub struct MemConfig {
     pub write_buffer: Option<u32>,
     /// Cycles the write-through channel needs per buffered store.
     pub write_drain_cycles: u32,
+    /// Hardware L1D prefetcher ([`PrefetchKind::None`] is the paper's
+    /// machine).
+    pub prefetch: PrefetchKind,
+    /// Secondary-miss handling in the L1D miss-address file
+    /// ([`MshrPolicy::Merge`] is the paper's machine).
+    pub mshr_policy: MshrPolicy,
 }
 
 impl MemConfig {
@@ -103,6 +233,8 @@ impl MemConfig {
             tlb_miss_penalty: 30,
             write_buffer: None,
             write_drain_cycles: 2,
+            prefetch: PrefetchKind::None,
+            mshr_policy: MshrPolicy::Merge,
         }
     }
 
@@ -119,6 +251,20 @@ impl MemConfig {
     #[must_use]
     pub fn with_mshrs(mut self, n: usize) -> Self {
         self.mshrs = n.max(1);
+        self
+    }
+
+    /// A configuration with the given L1D prefetcher.
+    #[must_use]
+    pub fn with_prefetch(mut self, kind: PrefetchKind) -> Self {
+        self.prefetch = kind;
+        self
+    }
+
+    /// A configuration with the given MSHR secondary-miss policy.
+    #[must_use]
+    pub fn with_mshr_policy(mut self, policy: MshrPolicy) -> Self {
+        self.mshr_policy = policy;
         self
     }
 }

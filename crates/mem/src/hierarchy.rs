@@ -2,7 +2,7 @@
 //! I-cache and TLBs.
 
 use crate::cache::Cache;
-use crate::config::MemConfig;
+use crate::config::{MemConfig, MshrPolicy, PrefetchKind};
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
 
@@ -49,6 +49,37 @@ struct MshrEntry {
     line: u64,
     fill_at: u64,
     level: Level,
+    /// The entry was allocated by the prefetcher, not a demand miss.
+    prefetch: bool,
+}
+
+/// The demand-miss stride tracker feeding the L1D prefetcher.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideTracker {
+    last_line: u64,
+    last_delta: i64,
+    /// 0 = cold, 1 = one miss seen, 2 = a delta established.
+    seen: u8,
+}
+
+impl StrideTracker {
+    /// Observes a demand-miss line and predicts the next line's delta
+    /// when two consecutive misses repeat the same non-zero stride.
+    fn observe(&mut self, line: u64) -> Option<i64> {
+        let mut predicted = None;
+        if self.seen >= 1 {
+            let delta = line.wrapping_sub(self.last_line) as i64;
+            if self.seen == 2 && delta == self.last_delta && delta != 0 {
+                predicted = Some(delta);
+            }
+            self.last_delta = delta;
+            self.seen = 2;
+        } else {
+            self.seen = 1;
+        }
+        self.last_line = line;
+        predicted
+    }
 }
 
 /// The memory hierarchy state machine.
@@ -62,6 +93,7 @@ pub struct Hierarchy {
     dtb: Tlb,
     itb: Tlb,
     mshrs: Vec<MshrEntry>,
+    stride: StrideTracker,
     /// Drain-completion times of buffered stores (finite write buffer).
     write_buffer: Vec<u64>,
     stats: MemStats,
@@ -79,6 +111,7 @@ impl Hierarchy {
             dtb: Tlb::new(config.dtb_entries, config.page_size),
             itb: Tlb::new(config.itb_entries, config.page_size),
             mshrs: Vec::with_capacity(config.mshrs),
+            stride: StrideTracker::default(),
             write_buffer: Vec::new(),
             stats: MemStats::default(),
             config,
@@ -123,18 +156,46 @@ impl Hierarchy {
         }
         let line = addr / self.config.l1d.line;
         self.mshrs.retain(|e| e.fill_at > issue_at);
-        // A line whose fill is still in flight counts as an MSHR merge:
-        // the L1 tag matches (it was allocated at miss time) but the data
-        // arrives only at fill time.
-        if let Some(e) = self.mshrs.iter().find(|e| e.line == line) {
-            self.stats.mshr_merges += 1;
-            self.l1d.access(addr); // touch for LRU
-            let ready_at = e.fill_at.max(issue_at + u64::from(self.config.l1d.latency));
-            return Access {
-                issue_at,
-                ready_at,
-                level: e.level,
-            };
+        // A blocking cache serialises: any read issued under an
+        // outstanding miss waits for every outstanding fill.
+        if self.config.mshr_policy == MshrPolicy::Blocking && !self.mshrs.is_empty() {
+            let free_at = self
+                .mshrs
+                .iter()
+                .map(|e| e.fill_at)
+                .max()
+                .expect("mshrs non-empty");
+            self.stats.mshr_stall_cycles += free_at - issue_at;
+            issue_at = free_at;
+            self.mshrs.clear();
+        }
+        // A line whose fill is still in flight: the L1 tag matches (it
+        // was allocated at miss time) but the data arrives only at fill
+        // time. Under `Merge` the read joins the entry; under `NoMerge`
+        // it stalls until the fill lands and then reads L1.
+        if let Some(e) = self.mshrs.iter_mut().find(|e| e.line == line) {
+            let (fill_at, level, was_prefetch) = (e.fill_at, e.level, e.prefetch);
+            // A prefetch earns its keep at most once, however many
+            // demand reads merge into its in-flight fill.
+            e.prefetch = false;
+            if was_prefetch {
+                self.stats.prefetch_useful += 1;
+            }
+            if self.config.mshr_policy == MshrPolicy::Merge {
+                self.stats.mshr_merges += 1;
+                self.l1d.access(addr); // touch for LRU
+                let ready_at = fill_at.max(issue_at + u64::from(self.config.l1d.latency));
+                return Access {
+                    issue_at,
+                    ready_at,
+                    level,
+                };
+            }
+            // NoMerge: structural stall until the outstanding fill
+            // frees the line, then fall through to the L1 lookup.
+            self.stats.mshr_stall_cycles += fill_at - issue_at;
+            issue_at = fill_at;
+            self.mshrs.retain(|e| e.fill_at > issue_at);
         }
         if self.l1d.access(addr) {
             self.stats.record_read(Level::L1);
@@ -164,12 +225,52 @@ impl Hierarchy {
             line,
             fill_at: ready_at,
             level,
+            prefetch: false,
         });
+        self.maybe_prefetch(addr, line, issue_at);
         Access {
             issue_at,
             ready_at,
             level,
         }
+    }
+
+    /// The demand-miss hook of the L1D prefetcher: predicts the next
+    /// line and, when the prediction is safe and free, fills it.
+    ///
+    /// A prefetch never perturbs demand behaviour beyond its fill: it
+    /// stays within the missing page (no TLB traffic), uses only spare
+    /// MSHR capacity, and is skipped when the line is already resident
+    /// or already in flight.
+    fn maybe_prefetch(&mut self, addr: u64, line: u64, issue_at: u64) {
+        let delta = match self.config.prefetch {
+            PrefetchKind::None => return,
+            PrefetchKind::NextLine => 1,
+            PrefetchKind::Stride => match self.stride.observe(line) {
+                Some(d) => d,
+                None => return,
+            },
+        };
+        let pf_line = line.wrapping_add(delta as u64);
+        let pf_addr = pf_line.wrapping_mul(self.config.l1d.line);
+        if pf_addr / self.config.page_size != addr / self.config.page_size {
+            return;
+        }
+        if self.mshrs.len() >= self.config.mshrs
+            || self.mshrs.iter().any(|e| e.line == pf_line)
+            || self.l1d.contains(pf_addr)
+        {
+            return;
+        }
+        let (latency, level) = self.lower_levels(pf_addr);
+        self.l1d.access(pf_addr); // allocate, exactly like a demand miss
+        self.stats.prefetches += 1;
+        self.mshrs.push(MshrEntry {
+            line: pf_line,
+            fill_at: issue_at + u64::from(latency),
+            level,
+            prefetch: true,
+        });
     }
 
     /// A data write of the 8 bytes at `addr` (write-through,
@@ -356,6 +457,115 @@ mod tests {
 }
 
 #[cfg(test)]
+mod prefetch_and_policy_tests {
+    use super::*;
+
+    #[test]
+    fn nextline_prefetch_covers_sequential_misses() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_prefetch(PrefetchKind::NextLine));
+        // Warm the TLB page, then a cold miss to a fresh line.
+        let _ = h.data_read(0x10_0000, 0);
+        let a = h.data_read(0x10_1000, 1000);
+        assert_ne!(a.level, Level::L1);
+        assert!(h.stats().prefetches >= 1, "miss must trigger a prefetch");
+        // The next line is in flight: a prompt demand read merges with
+        // the prefetch instead of missing all the way to memory.
+        let b = h.data_read(0x10_1000 + 32, a.issue_at + 1);
+        assert_eq!(h.stats().prefetch_useful, 1, "{:?}", h.stats());
+        assert!(
+            b.ready_at < a.issue_at + 1 + u64::from(h.config().mem_latency),
+            "covered miss must beat a full memory round trip"
+        );
+        // After the fill lands, the line is simply resident.
+        let c = h.data_read(0x10_1000 + 40, b.ready_at + 100);
+        assert_eq!(c.level, Level::L1);
+    }
+
+    #[test]
+    fn prefetch_counts_useful_at_most_once() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_prefetch(PrefetchKind::NextLine));
+        let _ = h.data_read(0x10_0000, 0);
+        let a = h.data_read(0x10_1000, 1000); // prefetches the next line
+        assert!(h.stats().prefetches >= 1, "{:?}", h.stats());
+        // Two demand reads merge into the same in-flight prefetch: the
+        // prefetch covered one miss, so it was useful once, not twice.
+        let _ = h.data_read(0x10_1000 + 32, a.issue_at + 1);
+        let _ = h.data_read(0x10_1000 + 40, a.issue_at + 2);
+        assert_eq!(h.stats().prefetch_useful, 1, "{:?}", h.stats());
+    }
+
+    #[test]
+    fn stride_prefetch_needs_a_repeated_delta() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_prefetch(PrefetchKind::Stride));
+        let _ = h.data_read(0x10_0000, 0); // warm page; first miss
+        let _ = h.data_read(0x10_0040, 100); // delta established (2 lines)
+        assert_eq!(h.stats().prefetches, 0, "no prediction yet");
+        let _ = h.data_read(0x10_0080, 200); // delta repeats -> prefetch 0x10_00C0
+        assert_eq!(h.stats().prefetches, 1, "{:?}", h.stats());
+        let d = h.data_read(0x10_00C0, 201);
+        assert_eq!(h.stats().prefetch_useful, 1);
+        assert!(d.ready_at <= 201 + u64::from(h.config().mem_latency));
+    }
+
+    #[test]
+    fn prefetch_stays_inside_the_page_and_spare_capacity() {
+        let cfg = MemConfig::alpha21164()
+            .with_prefetch(PrefetchKind::NextLine)
+            .with_mshrs(1);
+        let mut h = Hierarchy::new(cfg);
+        let _ = h.data_read(0x10_0000, 0);
+        assert_eq!(
+            h.stats().prefetches,
+            0,
+            "a full miss-address file leaves no room for prefetches"
+        );
+        // Last line of a page: the next line crosses, so no prefetch.
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_prefetch(PrefetchKind::NextLine));
+        let last_line = 0x10_0000 + 8 * 1024 - 32;
+        let _ = h.data_read(last_line, 0);
+        assert_eq!(h.stats().prefetches, 0, "prefetches never cross a page");
+    }
+
+    #[test]
+    fn nomerge_stalls_secondary_misses_until_the_fill() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_mshr_policy(MshrPolicy::NoMerge));
+        let a = h.data_read(0x8000, 0);
+        let b = h.data_read(0x8008, a.issue_at + 1); // same line, in flight
+        assert_eq!(h.stats().mshr_merges, 0, "no merging under NoMerge");
+        assert_eq!(b.issue_at, a.ready_at, "stalls until the fill lands");
+        assert_eq!(b.level, Level::L1, "then reads the just-filled line");
+        assert!(h.stats().mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn blocking_policy_serialises_all_misses() {
+        let mut h = Hierarchy::new(MemConfig::alpha21164().with_mshr_policy(MshrPolicy::Blocking));
+        let a = h.data_read(0x0000_0000, 0);
+        // Different line (and a different L1 set, so nothing is
+        // evicted), plenty of MSHRs — still waits for the fill.
+        let b = h.data_read(0x0000_1000, a.issue_at + 1);
+        assert_eq!(b.issue_at, a.ready_at, "blocking cache: no overlap");
+        assert!(h.stats().mshr_stall_cycles > 0);
+        // And even a would-be L1 hit waits while a miss is outstanding.
+        let c = h.data_read(0x0000_0000, b.issue_at + 1);
+        assert_eq!(c.issue_at, b.ready_at);
+        assert_eq!(c.level, Level::L1);
+    }
+
+    #[test]
+    fn default_machine_has_no_new_axis_traffic() {
+        // The paper's machine must be byte-identical to before the axes
+        // existed: no prefetches, merging semantics.
+        let mut h = Hierarchy::new(MemConfig::alpha21164());
+        for k in 0..64 {
+            let _ = h.data_read(0x10_0000 + k * 32, k * 200);
+        }
+        assert_eq!(h.stats().prefetches, 0);
+        assert_eq!(h.stats().prefetch_useful, 0);
+    }
+}
+
+#[cfg(test)]
 mod write_buffer_tests {
     use super::*;
 
@@ -381,11 +591,9 @@ mod write_buffer_tests {
     fn infinite_buffer_never_stalls() {
         let mut h = Hierarchy::new(MemConfig::alpha21164());
         let _ = h.data_write(0x1000, 0);
-        let mut now = 100;
-        for k in 0..32 {
+        for (now, k) in (100..).zip(0..32) {
             let a = h.data_write(0x1000 + k * 8, now);
             assert_eq!(a.issue_at, now);
-            now += 1;
         }
         assert_eq!(h.stats().wb_stall_cycles, 0);
     }

@@ -30,7 +30,7 @@ pub mod stats;
 pub mod tlb;
 
 pub use cache::Cache;
-pub use config::{CacheConfig, MemConfig};
+pub use config::{CacheConfig, MemConfig, MshrPolicy, PrefetchKind};
 pub use hierarchy::{Access, Hierarchy, Level};
 pub use stats::MemStats;
 pub use tlb::Tlb;

@@ -27,10 +27,18 @@ pub struct MemStats {
     pub stores: u64,
     /// Cycles lost waiting for a free write-buffer entry.
     pub wb_stall_cycles: u64,
+    /// Prefetch fills issued by the L1D prefetcher. Prefetch traffic is
+    /// deliberately **not** part of [`MemStats::total_reads`]: only
+    /// demand reads conserve against executed loads.
+    pub prefetches: u64,
+    /// Demand reads that found their line already in flight under a
+    /// prefetch: merged with the prefetch fill (also counted in
+    /// `mshr_merges`), or stalled for it under [`crate::MshrPolicy::NoMerge`].
+    pub prefetch_useful: u64,
 }
 
 impl MemStats {
-    /// Total data reads.
+    /// Total **demand** data reads (prefetch fills excluded).
     #[must_use]
     pub fn total_reads(&self) -> u64 {
         self.l1d_hits + self.l2_hits + self.l3_hits + self.mem_reads + self.mshr_merges

@@ -6,13 +6,13 @@
 //!
 //! ```
 //! use bsched_pipeline::{Experiment, OptLevel, SchedulerKind};
-//! use bsched_sim::SimConfig;
+//! use bsched_sim::MachineSpec;
 //!
 //! let session = Experiment::builder()
 //!     .kernel("TRFD")
 //!     .opts(OptLevel::Unroll4)
 //!     .scheduler(SchedulerKind::Balanced)
-//!     .sim(SimConfig::alpha21164())
+//!     .machine(MachineSpec::alpha21164())
 //!     .build()
 //!     .unwrap();
 //! let run = session.run().unwrap();
@@ -36,7 +36,7 @@ use crate::options::CompileOptions;
 use crate::run::{run_impl, RunResult};
 use bsched_core::{SchedulerKind, TieBreak};
 use bsched_ir::Program;
-use bsched_sim::{SimConfig, SimEngine, SimMode};
+use bsched_sim::{MachineSpec, SimConfig, SimEngine, SimMode};
 
 /// A named optimization level: the ILP-increasing transformation sets
 /// evaluated in the paper, with the paper's unroll factors baked in.
@@ -237,8 +237,24 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Sets the simulator configuration (default:
-    /// [`SimConfig::alpha21164`]).
+    /// Sets the machine the experiment simulates (default:
+    /// [`MachineSpec::alpha21164`], the paper's machine). Accepts any
+    /// registry name or spec-grammar string via
+    /// [`MachineSpec`]'s `FromStr`, or a programmatic
+    /// [`MachineSpec::custom`].
+    #[must_use]
+    pub fn machine(mut self, machine: MachineSpec) -> Self {
+        self.sim = Some(machine.config());
+        self
+    }
+
+    /// Sets the simulator configuration from a raw knob struct,
+    /// bypassing machine validation.
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the machine: .machine(MachineSpec::custom(sim)) \
+                — or name a registered one"
+    )]
     #[must_use]
     pub fn sim(mut self, sim: SimConfig) -> Self {
         self.sim = Some(sim);
@@ -568,11 +584,41 @@ mod tests {
             .kernel("ora")
             .opts(OptLevel::LocalityUnroll8Trace)
             .scheduler(SchedulerKind::Balanced)
-            .sim(SimConfig::alpha21164())
+            .machine(MachineSpec::alpha21164())
             .build()
             .unwrap();
         let manual = ConfigKind::LaTrsLu(8).options(SchedulerKind::Balanced);
         assert_eq!(format!("{:?}", s.options()), format!("{manual:?}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sim_shim_matches_machine_builder() {
+        // Satellite of the MachineSpec migration: the raw-config shim
+        // and the machine builder resolve to identical sessions.
+        let cfg = SimConfig::alpha21164().with_mshrs(2);
+        let shim = Experiment::builder().kernel("TRFD").sim(cfg).build().unwrap();
+        let machined = Experiment::builder()
+            .kernel("TRFD")
+            .machine(MachineSpec::custom(cfg))
+            .build()
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", shim.options()),
+            format!("{:?}", machined.options())
+        );
+    }
+
+    #[test]
+    fn machine_builder_threads_zoo_configs() {
+        let wide: MachineSpec = "wide4".parse().unwrap();
+        let s = Experiment::builder()
+            .kernel("TRFD")
+            .machine(wide.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.options().sim, wide.config());
+        assert_eq!(s.options().sim.issue_width, 4);
     }
 
     #[test]

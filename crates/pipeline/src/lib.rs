@@ -64,7 +64,7 @@ pub use experiment::{
 #[allow(deprecated)]
 pub use experiments::Runner;
 pub use experiments::{standard_grid, ConfigKind, ExperimentConfig};
-pub use bsched_sim::{SampleConfig, SampleStats, SimEngine, SimMode};
+pub use bsched_sim::{MachineInfo, MachineSpec, PredictorKind, SampleConfig, SampleStats, SimEngine, SimMode};
 pub use options::CompileOptions;
 #[allow(deprecated)]
 pub use run::compile_and_run;

@@ -48,7 +48,8 @@ pub(crate) fn run_impl(
 ) -> Result<RunResult, PipelineError> {
     let compiled = compile_impl(source, opts)?;
     let reference = Interp::new(source).run()?;
-    let sim = Simulator::with_config(&compiled.program, opts.sim)
+    let machine = bsched_sim::MachineSpec::custom(opts.sim);
+    let sim = Simulator::for_machine(&compiled.program, &machine)
         .with_engine(engine)
         .with_mode(mode)
         .run()?;

@@ -46,7 +46,11 @@ use std::fmt;
 ///
 /// v2: `CompileOptions` gained the exact scheduler arm
 /// (`"scheduler": "exact"`) and the required `exact_budget` field.
-pub const WIRE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the MachineSpec redesign — `branch` gained the required `kind`
+/// field (predictor family) and `mem` the required `prefetch` and
+/// `mshr_policy` fields.
+pub const WIRE_SCHEMA_VERSION: u32 = 3;
 
 /// A protocol-level failure: the frame was valid JSON but not a valid
 /// message.
@@ -191,6 +195,8 @@ fn mem_to_json(m: &MemConfig) -> Json {
             m.write_buffer.map_or(Json::Null, |n| Json::u64(u64::from(n))),
         ),
         ("write_drain_cycles", Json::u64(u64::from(m.write_drain_cycles))),
+        ("prefetch", Json::Str(m.prefetch.label().into())),
+        ("mshr_policy", Json::Str(m.mshr_policy.label().into())),
     ])
 }
 
@@ -223,6 +229,12 @@ fn mem_from_json(doc: &Json) -> Result<MemConfig, ProtoError> {
             .map(|n| narrow(n, "write_buffer"))
             .transpose()?,
         write_drain_cycles: narrow(get_u64(doc, "write_drain_cycles")?, "write_drain_cycles")?,
+        prefetch: get_str(doc, "prefetch")?
+            .parse()
+            .map_err(|e: String| err(e))?,
+        mshr_policy: get_str(doc, "mshr_policy")?
+            .parse()
+            .map_err(|e: String| err(e))?,
     })
 }
 
@@ -232,6 +244,7 @@ fn sim_to_json(c: &SimConfig) -> Json {
         (
             "branch",
             Json::obj(vec![
+                ("kind", Json::Str(c.branch.kind.label().into())),
                 ("entries", Json::u64(c.branch.entries as u64)),
                 (
                     "mispredict_penalty",
@@ -252,6 +265,9 @@ fn sim_from_json(doc: &Json) -> Result<SimConfig, ProtoError> {
     Ok(SimConfig {
         mem: mem_from_json(doc.get("mem").ok_or_else(|| err("missing field \"mem\""))?)?,
         branch: bsched_sim::BranchConfig {
+            kind: get_str(branch, "kind")?
+                .parse()
+                .map_err(|e: String| err(e))?,
             entries: get_u64(branch, "entries")? as usize,
             mispredict_penalty: u32::try_from(get_u64(branch, "mispredict_penalty")?)
                 .map_err(|_| err("mispredict_penalty out of range"))?,
@@ -924,7 +940,7 @@ mod tests {
             .with_reference_weights();
         exotic.predicate = false;
         exotic.selective = false;
-        exotic.sim = SimConfig::default().with_issue_width(4).with_mshrs(1);
+        exotic.sim = SimConfig::default().with_issue(4, 2).with_mshrs(1);
         exotic.sim.mem.l3 = None;
         exotic.sim.mem.write_buffer = Some(6);
         all.push(exotic);
@@ -933,9 +949,19 @@ mod tests {
             o.sim = SimConfig::default().simple_model_1993();
             o
         });
+        // The machine zoo's new axes must survive the wire too.
+        for spec in [
+            "alpha21264",
+            "blocking21164",
+            "alpha21164+bp=tage+pf=nextline+mshr=nomerge",
+        ] {
+            let mut o = CompileOptions::new(SchedulerKind::Balanced);
+            o.sim = spec.parse::<bsched_sim::MachineSpec>().unwrap().config();
+            all.push(o);
+        }
         for o in &all {
             let back = options_from_json(&options_to_json(o)).expect("round-trip");
-            let a = ExperimentCell::new("TRFD", o.clone());
+            let a = ExperimentCell::new("TRFD", *o);
             let b = ExperimentCell::new("TRFD", back);
             assert_eq!(a.canonical_key(), b.canonical_key());
         }

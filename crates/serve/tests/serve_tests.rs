@@ -7,7 +7,7 @@ use bsched_pipeline::standard_grid;
 use bsched_serve::{
     serve, Client, Endpoint, ServeConfig, ServeCore, ServerConfig, SubmitReply,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -112,7 +112,7 @@ fn cheap_cells(n: usize) -> Vec<ExperimentCell> {
         .collect()
 }
 
-fn cache_files(dir: &PathBuf) -> Vec<(String, String)> {
+fn cache_files(dir: &Path) -> Vec<(String, String)> {
     let mut files = Vec::new();
     let Ok(entries) = std::fs::read_dir(dir.join(format!(
         "v{}",

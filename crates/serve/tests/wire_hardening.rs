@@ -199,19 +199,14 @@ fn seeded_fuzz_of_frame_decoding_never_panics_or_leaks() {
             }
         };
         // Sometimes append a second partial frame to catch desyncs.
-        if rng.next_u64() % 4 == 0 {
+        if rng.next_u64().is_multiple_of(4) {
             bytes.extend_from_slice(&valid[..rng.range_u64(0, valid.len() as u64) as usize]);
         }
         let mut cursor = bytes.as_slice();
         // Drain the stream: every frame either parses or errors; EOF ends.
-        loop {
-            match read_frame(&mut cursor, MAX_FRAME_LEN) {
-                Ok(Some(doc)) => {
-                    // Whatever parsed must survive request decoding too.
-                    let _ = Request::from_json(&doc);
-                }
-                Ok(None) | Err(_) => break,
-            }
+        while let Ok(Some(doc)) = read_frame(&mut cursor, MAX_FRAME_LEN) {
+            // Whatever parsed must survive request decoding too.
+            let _ = Request::from_json(&doc);
         }
     }
 
@@ -223,7 +218,7 @@ fn seeded_fuzz_of_frame_decoding_never_panics_or_leaks() {
         let mut s = raw_connect(&server.endpoint);
         let n = rng.range_u64(1, 48) as usize;
         let mut bytes = Vec::with_capacity(n);
-        if rng.next_u64() % 2 == 0 {
+        if rng.next_u64().is_multiple_of(2) {
             // Start from a valid frame, then corrupt.
             bytes.extend_from_slice(&valid);
             let at = rng.range_u64(0, bytes.len() as u64) as usize;

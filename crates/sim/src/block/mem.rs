@@ -28,7 +28,7 @@
 //! the pipeline fuzzer) pins this module against the reference
 //! hierarchy on every metric of every cell.
 
-use bsched_mem::{Access, CacheConfig, Level, MemConfig, MemStats};
+use bsched_mem::{Access, CacheConfig, Level, MemConfig, MemStats, MshrPolicy, PrefetchKind};
 
 /// One cache way: tag + valid + true-LRU stamp (same replacement state
 /// as `bsched_mem::cache::Cache`).
@@ -172,6 +172,16 @@ impl FastCache {
         }
         false
     }
+
+    /// `true` if `addr`'s line is resident — no clock bump, no LRU
+    /// touch (mirrors `bsched_mem::cache::Cache::contains`).
+    #[inline]
+    fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.ways[set * self.assoc..(set + 1) * self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
 }
 
 /// A fully associative TLB with a direct-mapped **hint table** in front
@@ -258,6 +268,36 @@ struct MshrEntry {
     line: u64,
     fill_at: u64,
     level: Level,
+    /// The entry was allocated by the prefetcher, not a demand miss.
+    prefetch: bool,
+}
+
+/// The demand-miss stride tracker feeding the L1D prefetcher — same
+/// state evolution as the reference model's.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideTracker {
+    last_line: u64,
+    last_delta: i64,
+    /// 0 = cold, 1 = one miss seen, 2 = a delta established.
+    seen: u8,
+}
+
+impl StrideTracker {
+    fn observe(&mut self, line: u64) -> Option<i64> {
+        let mut predicted = None;
+        if self.seen >= 1 {
+            let delta = line.wrapping_sub(self.last_line) as i64;
+            if self.seen == 2 && delta == self.last_delta && delta != 0 {
+                predicted = Some(delta);
+            }
+            self.last_delta = delta;
+            self.seen = 2;
+        } else {
+            self.seen = 1;
+        }
+        self.last_line = line;
+        predicted
+    }
 }
 
 /// The engine-private hierarchy. Constructed per run with the code
@@ -276,6 +316,7 @@ pub(crate) struct FastHier {
     /// retire scan runs only when an entry has actually expired, which
     /// is at most once per miss instead of once per access.
     mshr_earliest: u64,
+    stride: StrideTracker,
     write_buffer: Vec<u64>,
     stats: MemStats,
     /// The static no-eviction proof held, so touched code lines are
@@ -318,6 +359,7 @@ impl FastHier {
             itb: FastTlb::new(config.itb_entries, config.page_size),
             mshrs: Vec::with_capacity(config.mshrs),
             mshr_earliest: u64::MAX,
+            stride: StrideTracker::default(),
             write_buffer: Vec::new(),
             stats: MemStats::default(),
             skip_ifetch,
@@ -377,6 +419,7 @@ impl FastHier {
         } else {
             addr / self.config.l1d.line
         };
+        let mut mshr_stall = 0;
         if !self.mshrs.is_empty() {
             // Expired entries exist only when the earliest fill time has
             // passed; the reference model's per-access retain is a no-op
@@ -384,19 +427,48 @@ impl FastHier {
             if issue_at >= self.mshr_earliest {
                 self.retire_mshrs(issue_at);
             }
-            if let Some(e) = self.mshrs.iter().find(|e| e.line == line) {
-                let (fill_at, level) = (e.fill_at, e.level);
-                self.stats.mshr_merges += 1;
-                self.l1d.access(addr); // touch for LRU
-                let ready_at = fill_at.max(issue_at + u64::from(self.config.l1d.latency));
-                return (
-                    Access {
-                        issue_at,
-                        ready_at,
-                        level,
-                    },
-                    0,
-                );
+            // A blocking cache serialises: any read issued under an
+            // outstanding miss waits for every outstanding fill.
+            if self.config.mshr_policy == MshrPolicy::Blocking && !self.mshrs.is_empty() {
+                let free_at = self
+                    .mshrs
+                    .iter()
+                    .map(|e| e.fill_at)
+                    .max()
+                    .expect("mshrs non-empty");
+                mshr_stall += free_at - issue_at;
+                self.stats.mshr_stall_cycles += free_at - issue_at;
+                issue_at = free_at;
+                self.mshrs.clear();
+                self.mshr_earliest = u64::MAX;
+            }
+            if let Some(e) = self.mshrs.iter_mut().find(|e| e.line == line) {
+                let (fill_at, level, was_prefetch) = (e.fill_at, e.level, e.prefetch);
+                // A prefetch earns its keep at most once, however many
+                // demand reads merge into its in-flight fill.
+                e.prefetch = false;
+                if was_prefetch {
+                    self.stats.prefetch_useful += 1;
+                }
+                if self.config.mshr_policy == MshrPolicy::Merge {
+                    self.stats.mshr_merges += 1;
+                    self.l1d.access(addr); // touch for LRU
+                    let ready_at = fill_at.max(issue_at + u64::from(self.config.l1d.latency));
+                    return (
+                        Access {
+                            issue_at,
+                            ready_at,
+                            level,
+                        },
+                        mshr_stall,
+                    );
+                }
+                // NoMerge: structural stall until the outstanding fill
+                // frees the line, then fall through to the L1 lookup.
+                mshr_stall += fill_at - issue_at;
+                self.stats.mshr_stall_cycles += fill_at - issue_at;
+                issue_at = fill_at;
+                self.retire_mshrs(issue_at);
             }
         }
         if self.l1d.access(addr) {
@@ -407,14 +479,13 @@ impl FastHier {
                     ready_at: issue_at + u64::from(self.config.l1d.latency),
                     level: Level::L1,
                 },
-                0,
+                mshr_stall,
             );
         }
-        let mut mshr_stall = 0;
         if self.mshrs.len() >= self.config.mshrs {
             let free_at = self.mshr_earliest;
-            mshr_stall = free_at - issue_at;
-            self.stats.mshr_stall_cycles += mshr_stall;
+            mshr_stall += free_at - issue_at;
+            self.stats.mshr_stall_cycles += free_at - issue_at;
             issue_at = free_at;
             self.retire_mshrs(issue_at);
         }
@@ -430,8 +501,10 @@ impl FastHier {
             line,
             fill_at: ready_at,
             level,
+            prefetch: false,
         });
         self.mshr_earliest = self.mshr_earliest.min(ready_at);
+        self.maybe_prefetch(addr, line, issue_at);
         (
             Access {
                 issue_at,
@@ -440,6 +513,43 @@ impl FastHier {
             },
             mshr_stall,
         )
+    }
+
+    /// The demand-miss hook of the L1D prefetcher — same decisions as
+    /// the reference model's `maybe_prefetch`, line arithmetic done
+    /// with the resolved shift.
+    #[inline]
+    fn maybe_prefetch(&mut self, addr: u64, line: u64, issue_at: u64) {
+        let delta = match self.config.prefetch {
+            PrefetchKind::None => return,
+            PrefetchKind::NextLine => 1,
+            PrefetchKind::Stride => match self.stride.observe(line) {
+                Some(d) => d,
+                None => return,
+            },
+        };
+        let pf_line = line.wrapping_add(delta as u64);
+        let pf_addr = pf_line.wrapping_mul(self.config.l1d.line);
+        if pf_addr / self.config.page_size != addr / self.config.page_size {
+            return;
+        }
+        if self.mshrs.len() >= self.config.mshrs
+            || self.mshrs.iter().any(|e| e.line == pf_line)
+            || self.l1d.contains(pf_addr)
+        {
+            return;
+        }
+        let (latency, level) = self.lower_levels(pf_addr);
+        self.l1d.access(pf_addr); // allocate, exactly like a demand miss
+        self.stats.prefetches += 1;
+        let fill_at = issue_at + u64::from(latency);
+        self.mshrs.push(MshrEntry {
+            line: pf_line,
+            fill_at,
+            level,
+            prefetch: true,
+        });
+        self.mshr_earliest = self.mshr_earliest.min(fill_at);
     }
 
     /// A data write of the 8 bytes at `addr` issued at `now`. Returns
@@ -550,6 +660,37 @@ mod tests {
             // 64 KB of code on an 8 KB I-cache: conflict misses are
             // possible, so the static proof must reject the skip.
             ("big-code", base, 0x4000 + 64 * 1024),
+            // The machine-zoo axes: prefetchers and MSHR policies.
+            (
+                "nextline",
+                base.with_prefetch(PrefetchKind::NextLine),
+                0x4000 + 8 * 1024,
+            ),
+            (
+                "stride",
+                base.with_prefetch(PrefetchKind::Stride),
+                0x4000 + 8 * 1024,
+            ),
+            (
+                "nomerge",
+                base.with_mshr_policy(MshrPolicy::NoMerge),
+                0x4000 + 8 * 1024,
+            ),
+            (
+                "blocking-policy",
+                base.with_mshr_policy(MshrPolicy::Blocking),
+                0x4000 + 8 * 1024,
+            ),
+            // Everything at once: stride prefetch under a no-merge file
+            // with a finite write buffer and 2 MSHRs.
+            (
+                "stride-nomerge-wb",
+                base.with_prefetch(PrefetchKind::Stride)
+                    .with_mshr_policy(MshrPolicy::NoMerge)
+                    .with_mshrs(2)
+                    .with_write_buffer(2),
+                0x4000 + 8 * 1024,
+            ),
         ];
         for (name, config, code_end) in configs {
             let code_base = 0x4000u64;

@@ -1,11 +1,77 @@
 //! Simulator configuration.
 
 use bsched_mem::MemConfig;
+use bsched_util::spec;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which branch-prediction algorithm the machine uses.
+///
+/// All kinds share the same table budget ([`BranchConfig::entries`]) and
+/// the same misprediction penalty; only the indexing/learning scheme
+/// differs. Every kind is deterministic, so both simulation engines
+/// produce bit-identical outcomes for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// Per-PC 2-bit saturating counters (the paper's machine).
+    #[default]
+    Bimodal,
+    /// Global-history XOR PC indexed 2-bit counters (McFarling 1993).
+    Gshare,
+    /// A small deterministic TAGE: bimodal base plus two
+    /// partially-tagged tables with geometric history lengths.
+    TageLite,
+}
+
+impl PredictorKind {
+    /// Canonical lowercase label (spec-grammar token).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::Bimodal => "bimodal",
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::TageLite => "tage",
+        }
+    }
+
+    /// The accepted spec tokens, for error messages.
+    #[must_use]
+    pub fn valid_choices() -> &'static str {
+        "bimodal, gshare, tage"
+    }
+}
+
+impl fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PredictorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bimodal" => Ok(PredictorKind::Bimodal),
+            "gshare" => Ok(PredictorKind::Gshare),
+            "tage" | "tage-lite" | "tagelite" => Ok(PredictorKind::TageLite),
+            other => Err(spec::unknown(
+                "branch predictor",
+                other,
+                &format!("valid predictors: {}", PredictorKind::valid_choices()),
+            )),
+        }
+    }
+}
 
 /// Branch predictor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchConfig {
-    /// Number of 2-bit counters in the bimodal table (power of two).
+    /// The prediction algorithm.
+    pub kind: PredictorKind,
+    /// Number of 2-bit counters in the main table (power of two). For
+    /// TAGE-lite this sizes the bimodal base; the tagged tables each
+    /// hold a quarter as many entries.
     pub entries: usize,
     /// Pipeline refill penalty in cycles on a mispredicted conditional
     /// branch (21164-like).
@@ -15,6 +81,7 @@ pub struct BranchConfig {
 impl Default for BranchConfig {
     fn default() -> Self {
         BranchConfig {
+            kind: PredictorKind::Bimodal,
             entries: 1024,
             mispredict_penalty: 5,
         }
@@ -88,18 +155,63 @@ impl SimConfig {
         self
     }
 
-    /// Returns the configuration with a different issue width (the
-    /// paper's future-work extension). Memory ports scale as
-    /// `max(1, width/2)`.
+    /// Returns the configuration with a different branch-prediction
+    /// algorithm (same table budget and penalty).
+    #[must_use]
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.branch.kind = kind;
+        self
+    }
+
+    /// Returns the configuration with an explicit issue width and
+    /// memory-port count (the paper's future-work extension). Unlike the
+    /// deprecated [`SimConfig::with_issue_width`], ports are an
+    /// independent axis: `with_issue(4, 1)` and `with_issue(4, 4)` are
+    /// both expressible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `ports` is not in `1..=width`.
+    #[must_use]
+    pub fn with_issue(mut self, width: u32, ports: u32) -> Self {
+        assert!(width > 0, "issue width must be positive");
+        assert!(
+            ports >= 1 && ports <= width,
+            "memory ports ({ports}) must be between 1 and the issue width ({width})"
+        );
+        self.issue_width = width;
+        self.mem_ports = ports;
+        self
+    }
+
+    /// Returns the configuration with a different issue width, silently
+    /// scaling memory ports as `max(1, width/2)`.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use with_issue(width, ports): this shim couples ports to \
+                max(1, width/2), which wide machines cannot override"
+    )]
     #[must_use]
-    pub fn with_issue_width(mut self, width: u32) -> Self {
+    pub fn with_issue_width(self, width: u32) -> Self {
         assert!(width > 0, "issue width must be positive");
-        self.issue_width = width;
-        self.mem_ports = (width / 2).max(1);
+        self.with_issue(width, (width / 2).max(1))
+    }
+
+    /// Returns the configuration with a different L1D prefetcher.
+    #[must_use]
+    pub fn with_prefetch(mut self, kind: bsched_mem::PrefetchKind) -> Self {
+        self.mem = self.mem.with_prefetch(kind);
+        self
+    }
+
+    /// Returns the configuration with a different MSHR policy.
+    #[must_use]
+    pub fn with_mshr_policy(mut self, policy: bsched_mem::MshrPolicy) -> Self {
+        self.mem = self.mem.with_mshr_policy(policy);
         self
     }
 
@@ -134,12 +246,54 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn issue_width_scaling() {
         let c = SimConfig::default().with_issue_width(4);
         assert_eq!(c.issue_width, 4);
         assert_eq!(c.mem_ports, 2);
         let c2 = SimConfig::default().with_issue_width(1);
         assert_eq!(c2.mem_ports, 1);
+        // The deprecated shim is exactly with_issue + the old coupling.
+        assert_eq!(c, SimConfig::default().with_issue(4, 2));
+    }
+
+    #[test]
+    fn with_issue_decouples_ports_from_width() {
+        let narrow = SimConfig::default().with_issue(4, 1);
+        assert_eq!((narrow.issue_width, narrow.mem_ports), (4, 1));
+        let full = SimConfig::default().with_issue(4, 4);
+        assert_eq!((full.issue_width, full.mem_ports), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory ports")]
+    fn with_issue_rejects_ports_beyond_width() {
+        let _ = SimConfig::default().with_issue(2, 3);
+    }
+
+    #[test]
+    fn predictor_kind_spec_tokens_round_trip() {
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::TageLite,
+        ] {
+            assert_eq!(kind.label().parse::<PredictorKind>().unwrap(), kind);
+        }
+        assert_eq!("TAGE-Lite".parse::<PredictorKind>().unwrap(), PredictorKind::TageLite);
+        let err = "perceptron".parse::<PredictorKind>().unwrap_err();
+        assert!(err.contains("bimodal") && err.contains("gshare") && err.contains("tage"));
+    }
+
+    #[test]
+    fn with_predictor_changes_only_the_kind() {
+        let c = SimConfig::default().with_predictor(PredictorKind::Gshare);
+        assert_eq!(c.branch.kind, PredictorKind::Gshare);
+        assert_eq!(c.branch.entries, SimConfig::default().branch.entries);
+        assert_eq!(
+            c.branch.mispredict_penalty,
+            SimConfig::default().branch.mispredict_penalty
+        );
     }
 
     #[test]

@@ -66,14 +66,17 @@ impl FromStr for SimEngine {
     type Err = String;
 
     /// Parses an engine name as spelled by [`SimEngine::label`]
-    /// (`block-compiled` is accepted as an alias for `block`).
+    /// (`block-compiled` is accepted as an alias for `block`). Error
+    /// shape comes from [`bsched_util::spec`], the contract shared with
+    /// `--sample=` and `--machine=`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "interpret" => Ok(SimEngine::Interpret),
             "block" | "block-compiled" => Ok(SimEngine::BlockCompiled),
-            other => Err(format!(
-                "unknown simulation engine {other:?}; valid engines: {}",
-                SimEngine::valid_choices()
+            other => Err(bsched_util::spec::unknown(
+                "simulation engine",
+                other,
+                &format!("valid engines: {}", SimEngine::valid_choices()),
             )),
         }
     }

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use bsched_ir::{FuncBuilder, Op, Program};
-//! use bsched_sim::{SimConfig, Simulator};
+//! use bsched_sim::{MachineSpec, Simulator};
 //!
 //! let mut p = Program::new("demo");
 //! let r = p.add_region("a", 64);
@@ -35,12 +35,13 @@
 //! b.ret();
 //! p.set_main(b.finish());
 //!
-//! let m = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+//! let machine = MachineSpec::alpha21164();
+//! let m = Simulator::for_machine(&p, &machine).run().unwrap();
 //! assert!(m.metrics.load_interlock > 0); // fadd waited on the cold load
 //!
 //! // Engines are interchangeable bit for bit:
 //! use bsched_sim::SimEngine;
-//! let interp = Simulator::with_config(&p, SimConfig::default())
+//! let interp = Simulator::for_machine(&p, &machine)
 //!     .with_engine(SimEngine::Interpret)
 //!     .run()
 //!     .unwrap();
@@ -56,12 +57,14 @@ pub mod branch;
 pub mod config;
 pub mod engine;
 pub mod machine;
+pub mod machines;
 pub mod metrics;
 pub mod sample;
 
 pub use branch::BranchPredictor;
-pub use config::{BranchConfig, SimConfig};
+pub use config::{BranchConfig, PredictorKind, SimConfig};
 pub use engine::SimEngine;
 pub use machine::{SimResult, Simulator};
+pub use machines::{MachineInfo, MachineSpec};
 pub use metrics::{InstCounts, SimMetrics};
 pub use sample::{SampleConfig, SampleStats, SimMode};

@@ -148,7 +148,7 @@ pub(crate) fn flush_site_events(program_name: &str, sites: &[SiteStat], block_ad
     }
 }
 
-/// The simulator. Build with [`Simulator::with_config`], pick an engine
+/// The simulator. Build with [`Simulator::for_machine`], pick an engine
 /// with [`Simulator::with_engine`], consume with [`Simulator::run`].
 #[derive(Debug)]
 pub struct Simulator<'p> {
@@ -159,8 +159,25 @@ pub struct Simulator<'p> {
 }
 
 impl<'p> Simulator<'p> {
-    /// Creates a simulator for `program` running on the default engine
-    /// ([`SimEngine::default`]) in exact mode.
+    /// Creates a simulator for `program` on the given machine, running
+    /// on the default engine ([`SimEngine::default`]) in exact mode.
+    #[must_use]
+    pub fn for_machine(program: &'p Program, machine: &crate::machines::MachineSpec) -> Self {
+        Simulator {
+            program,
+            config: machine.config(),
+            engine: SimEngine::default(),
+            mode: crate::sample::SimMode::default(),
+        }
+    }
+
+    /// Creates a simulator from a raw knob struct, bypassing machine
+    /// validation.
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the machine first: Simulator::for_machine(p, \
+                &MachineSpec::custom(config)) — or name a registered one"
+    )]
     #[must_use]
     pub fn with_config(program: &'p Program, config: SimConfig) -> Self {
         Simulator {
@@ -173,18 +190,18 @@ impl<'p> Simulator<'p> {
 
     /// Creates a simulator pinned to the pre-0.4 interpreting engine.
     ///
-    /// Bypassed by the engine-agnostic API: use
-    /// [`Simulator::with_config`] (which follows the default engine) and
-    /// [`Simulator::with_engine`] to pick one explicitly. Both engines
-    /// produce bit-identical results, so migrating never changes
-    /// metrics or checksums.
+    /// Bypassed twice over: use [`Simulator::for_machine`] (which
+    /// follows the default engine) and [`Simulator::with_engine`] to
+    /// pick one explicitly. Both engines produce bit-identical results,
+    /// so migrating never changes metrics or checksums.
     #[deprecated(
         since = "0.4.0",
-        note = "use Simulator::with_config(..) [+ .with_engine(..)]; \
+        note = "use Simulator::for_machine(..) [+ .with_engine(..)]; \
                 this shim pins SimEngine::Interpret"
     )]
     #[must_use]
     pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        #[allow(deprecated)]
         Simulator::with_config(program, config).with_engine(SimEngine::Interpret)
     }
 
@@ -491,6 +508,11 @@ mod tests {
     use super::*;
     use bsched_ir::{BrCond, FuncBuilder, Interp, Op, Program};
 
+    /// Shorthand: a simulator for an ad-hoc machine description.
+    fn sim<'p>(p: &'p Program, config: SimConfig) -> Simulator<'p> {
+        Simulator::for_machine(p, &crate::machines::MachineSpec::custom(config))
+    }
+
     /// load; dependent fadd; store — on a cold cache the fadd interlocks.
     fn load_use_program(gap_ops: usize) -> Program {
         let mut p = Program::new("lu");
@@ -514,16 +536,16 @@ mod tests {
     #[test]
     fn cold_load_interlocks_consumer() {
         let p = load_use_program(0);
-        let res = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+        let res = sim(&p, SimConfig::default()).run().unwrap();
         assert!(res.metrics.load_interlock >= 40, "{:?}", res.metrics);
     }
 
     #[test]
     fn independent_work_hides_load_latency() {
-        let near = Simulator::with_config(&load_use_program(0), SimConfig::default())
+        let near = sim(&load_use_program(0), SimConfig::default())
             .run()
             .unwrap();
-        let far = Simulator::with_config(&load_use_program(12), SimConfig::default())
+        let far = sim(&load_use_program(12), SimConfig::default())
             .run()
             .unwrap();
         assert!(
@@ -538,7 +560,7 @@ mod tests {
     fn checksum_matches_functional_interpreter() {
         for gap in [0, 5] {
             let p = load_use_program(gap);
-            let sim = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+            let sim = sim(&p, SimConfig::default()).run().unwrap();
             let reference = Interp::new(&p).run().unwrap();
             assert_eq!(sim.checksum, reference.checksum);
         }
@@ -569,8 +591,8 @@ mod tests {
     fn non_blocking_overlaps_misses_blocking_serialises() {
         let p = many_miss_program();
         let cfg = SimConfig::default().with_ifetch(false);
-        let nb = Simulator::with_config(&p, cfg).run().unwrap();
-        let blk = Simulator::with_config(&p, cfg.with_mshrs(1)).run().unwrap();
+        let nb = sim(&p, cfg).run().unwrap();
+        let blk = sim(&p, cfg.with_mshrs(1)).run().unwrap();
         // 8 cold misses at 50 cycles: blocking pays nearly all of them in
         // sequence; non-blocking overlaps several.
         assert!(
@@ -609,7 +631,7 @@ mod tests {
         b.ret();
         p.set_main(b.finish());
 
-        let res = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+        let res = sim(&p, SimConfig::default()).run().unwrap();
         assert_eq!(res.metrics.insts.branches, 51);
         assert_eq!(res.metrics.insts.jumps, 51); // entry jmp + 50 latch jmps
                                                  // Mispredicts only at warmup and the final not-taken: small penalty.
@@ -632,7 +654,7 @@ mod tests {
         b.store(q, base, 0).with_region(r).emit(&mut b);
         b.ret();
         p.set_main(b.finish());
-        let res = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
+        let res = sim(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         assert!(res.metrics.fixed_interlock >= 25, "{:?}", res.metrics);
@@ -642,8 +664,8 @@ mod tests {
     #[test]
     fn ifetch_off_removes_fetch_stalls() {
         let p = load_use_program(3);
-        let on = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
-        let off = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
+        let on = sim(&p, SimConfig::default()).run().unwrap();
+        let off = sim(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         assert!(on.metrics.fetch_stall > 0);
@@ -664,7 +686,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            Simulator::with_config(&p, cfg).run(),
+            sim(&p, cfg).run(),
             Err(ExecError::OutOfFuel { fuel: 10 })
         ));
     }
@@ -674,6 +696,12 @@ mod tests {
 mod multi_issue_tests {
     use super::*;
     use bsched_ir::{FuncBuilder, Op, Program};
+
+    /// Shorthand: a simulator for an ad-hoc machine description.
+    fn sim<'p>(p: &'p Program, config: SimConfig) -> Simulator<'p> {
+        Simulator::for_machine(p, &crate::machines::MachineSpec::custom(config))
+    }
+
 
     /// Many independent integer ops: wider issue must shrink cycles.
     fn ilp_program() -> Program {
@@ -701,18 +729,18 @@ mod multi_issue_tests {
     #[test]
     fn wider_issue_is_faster_and_identical_functionally() {
         let p = ilp_program();
-        let w1 = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
+        let w1 = sim(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
-        let w2 = Simulator::with_config(
+        let w2 = sim(
             &p,
-            SimConfig::default().with_ifetch(false).with_issue_width(2),
+            SimConfig::default().with_ifetch(false).with_issue(2, 1),
         )
         .run()
         .unwrap();
-        let w4 = Simulator::with_config(
+        let w4 = sim(
             &p,
-            SimConfig::default().with_ifetch(false).with_issue_width(4),
+            SimConfig::default().with_ifetch(false).with_issue(4, 2),
         )
         .run()
         .unwrap();
@@ -737,12 +765,12 @@ mod multi_issue_tests {
         b.ret();
         p.set_main(b.finish());
 
-        let mut one_port = SimConfig::default().with_ifetch(false).with_issue_width(4);
+        let mut one_port = SimConfig::default().with_ifetch(false).with_issue(4, 2);
         one_port.mem_ports = 1;
         let mut four_ports = one_port;
         four_ports.mem_ports = 4;
-        let a = Simulator::with_config(&p, one_port).run().unwrap();
-        let b_ = Simulator::with_config(&p, four_ports).run().unwrap();
+        let a = sim(&p, one_port).run().unwrap();
+        let b_ = sim(&p, four_ports).run().unwrap();
         assert!(
             b_.metrics.cycles + 8 <= a.metrics.cycles,
             "{} vs {}",
@@ -766,12 +794,12 @@ mod multi_issue_tests {
         b.store(q2, base, 0).with_region(r).emit(&mut b);
         b.ret();
         p.set_main(b.finish());
-        let real = Simulator::with_config(&p, SimConfig::default().with_ifetch(false))
+        let real = sim(&p, SimConfig::default().with_ifetch(false))
             .run()
             .unwrap();
         let mut simple_cfg = SimConfig::default();
         simple_cfg = simple_cfg.simple_model_1993();
-        let simple = Simulator::with_config(&p, simple_cfg).run().unwrap();
+        let simple = sim(&p, simple_cfg).run().unwrap();
         assert!(real.metrics.fixed_interlock >= 29, "{:?}", real.metrics);
         assert_eq!(simple.metrics.fixed_interlock, 0, "{:?}", simple.metrics);
         assert_eq!(real.checksum, simple.checksum);

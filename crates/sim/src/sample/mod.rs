@@ -45,6 +45,7 @@ use crate::machine::SimResult;
 use crate::metrics::{InstCounts, SimMetrics};
 use bsched_ir::{ExecError, Program};
 use bsched_mem::MemStats;
+use bsched_util::spec;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::str::FromStr;
@@ -121,42 +122,31 @@ impl fmt::Display for SampleConfig {
     }
 }
 
-/// Parses an integer that may be written in decimal or `0x` hex.
-fn parse_u64(v: &str) -> Option<u64> {
-    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        v.parse().ok()
-    }
-}
-
 impl FromStr for SampleConfig {
     type Err = String;
 
     /// Parses a sampling spec as accepted by `--sample=` and
-    /// `BSCHED_SAMPLE`: see [`SampleConfig::valid_spec`].
+    /// `BSCHED_SAMPLE`: see [`SampleConfig::valid_spec`]. Grammar and
+    /// error shape come from [`bsched_util::spec`], the contract shared
+    /// with `--engine=` and `--machine=`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let bad = |reason: &str| {
-            Err(format!(
-                "invalid sampling spec {s:?} ({reason}); valid: {}",
-                SampleConfig::valid_spec()
-            ))
-        };
+        let bad =
+            |reason: &str| Err(spec::invalid("sampling", s, reason, SampleConfig::valid_spec()));
         match s.trim() {
             "" => return bad("empty spec"),
             "1" | "on" | "true" | "default" => return Ok(SampleConfig::default()),
             _ => {}
         }
         let mut cfg = SampleConfig::default();
-        for part in s.split(',') {
-            let part = part.trim();
-            let Some((key, value)) = part.split_once('=') else {
-                return bad(&format!("expected key=value, got {part:?}"));
-            };
-            let Some(n) = parse_u64(value.trim()) else {
+        let parts = match spec::pairs(s, ',') {
+            Ok(parts) => parts,
+            Err(reason) => return bad(&reason),
+        };
+        for (key, value) in parts {
+            let Some(n) = spec::parse_u64(value) else {
                 return bad(&format!("bad value {value:?} for {key:?}"));
             };
-            match key.trim() {
+            match key {
                 "k" => {
                     if n == 0 || n > u64::from(u32::MAX) {
                         return bad("k must be between 1 and 2^32-1");
@@ -438,7 +428,7 @@ pub(crate) fn run_sampled(
     let mut store_stall = 0.0;
     let mut fetch_stall = 0.0;
     let mut tlb_stall = 0.0;
-    let mut mem_acc = [0.0f64; 11];
+    let mut mem_acc = [0.0f64; 13];
 
     for i in 0..plan.rep_metrics.len() {
         let dm = &plan.rep_metrics[i];
@@ -463,6 +453,8 @@ pub(crate) fn run_sampled(
             ms.icache_misses,
             ms.stores,
             ms.wb_stall_cycles,
+            ms.prefetches,
+            ms.prefetch_useful,
         ]) {
             *acc += v as f64 * scale;
         }
@@ -489,6 +481,8 @@ pub(crate) fn run_sampled(
             icache_misses: est(mem_acc[8], "icache_misses")?,
             stores: est(mem_acc[9], "stores")?,
             wb_stall_cycles: est(mem_acc[10], "wb_stall_cycles")?,
+            prefetches: est(mem_acc[11], "prefetches")?,
+            prefetch_useful: est(mem_acc[12], "prefetch_useful")?,
         },
     };
     Ok(SimResult {

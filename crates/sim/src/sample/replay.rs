@@ -244,5 +244,7 @@ fn stats_delta(after: &MemStats, before: &MemStats) -> MemStats {
         icache_misses: after.icache_misses - before.icache_misses,
         stores: after.stores - before.stores,
         wb_stall_cycles: after.wb_stall_cycles - before.wb_stall_cycles,
+        prefetches: after.prefetches - before.prefetches,
+        prefetch_useful: after.prefetch_useful - before.prefetch_useful,
     }
 }

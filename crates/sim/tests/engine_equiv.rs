@@ -5,6 +5,11 @@
 
 use bsched_ir::{BrCond, ExecError, FuncBuilder, Op, Program};
 use bsched_sim::{SimConfig, SimEngine, SimResult, Simulator};
+
+/// A simulator for an ad-hoc machine description.
+fn sim<'p>(p: &'p bsched_ir::Program, config: SimConfig) -> Simulator<'p> {
+    Simulator::for_machine(p, &bsched_sim::MachineSpec::custom(config))
+}
 use bsched_util::Prng;
 use bsched_workloads::lang::ast::{Expr, Index};
 use bsched_workloads::lang::{ArrayInit, Kernel};
@@ -14,7 +19,7 @@ use std::sync::Mutex;
 static TRACE_LOCK: Mutex<()> = Mutex::new(());
 
 fn run_engine(p: &Program, cfg: SimConfig, engine: SimEngine) -> Result<SimResult, ExecError> {
-    Simulator::with_config(p, cfg).with_engine(engine).run()
+    sim(p, cfg).with_engine(engine).run()
 }
 
 fn assert_engines_agree(p: &Program, cfg: SimConfig, what: &str) {
@@ -29,18 +34,34 @@ fn assert_engines_agree(p: &Program, cfg: SimConfig, what: &str) {
 
 /// The machine-configuration axes the grid exercises, plus corners.
 fn config_space() -> Vec<(&'static str, SimConfig)> {
+    use bsched_mem::{MshrPolicy, PrefetchKind};
+    use bsched_sim::PredictorKind;
     let base = SimConfig::default();
-    let mut four_ports = base.with_ifetch(false).with_issue_width(4);
-    four_ports.mem_ports = 4;
     vec![
         ("default", base),
         ("no-ifetch", base.with_ifetch(false)),
         ("blocking", base.with_mshrs(1)),
-        ("width2", base.with_issue_width(2)),
-        ("width4", base.with_issue_width(4)),
-        ("width4-ports4", four_ports),
+        ("width2", base.with_issue(2, 1)),
+        ("width4", base.with_issue(4, 2)),
+        ("width4-ports4", base.with_ifetch(false).with_issue(4, 4)),
         ("simple-1993", base.simple_model_1993()),
+        ("gshare", base.with_predictor(PredictorKind::Gshare)),
+        ("tage", base.with_predictor(PredictorKind::TageLite)),
+        ("nextline-pf", base.with_prefetch(PrefetchKind::NextLine)),
+        ("stride-pf", base.with_prefetch(PrefetchKind::Stride)),
+        ("nomerge-mshr", base.with_mshr_policy(MshrPolicy::NoMerge)),
+        ("blocking-mshr", base.with_mshr_policy(MshrPolicy::Blocking)),
     ]
+}
+
+/// Every registered machine must also be engine-bit-identical.
+#[test]
+fn registered_machines_are_engine_identical() {
+    let p = loop_program();
+    for info in bsched_sim::MachineSpec::registry() {
+        let m = bsched_sim::MachineSpec::named(info.name).unwrap();
+        assert_engines_agree(&p, m.config(), info.name);
+    }
 }
 
 /// load; gap of independent fmuls; dependent fadd; stores.
@@ -205,7 +226,7 @@ fn engines_agree_on_seeded_workload_kernels() {
         let ifetch = rng.coin();
         let p = stream(n, seed);
         let cfg = SimConfig::default()
-            .with_issue_width(width)
+            .with_issue(width, (width / 2).max(1))
             .with_mshrs(mshrs)
             .with_ifetch(ifetch);
         assert_engines_agree(&p, cfg, &format!("stream case {case} (n {n}, seed {seed})"));

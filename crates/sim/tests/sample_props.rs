@@ -5,6 +5,11 @@
 
 use bsched_sim::sample::kmeans::{cluster, Clustering};
 use bsched_sim::{SampleConfig, SimConfig, SimMode, Simulator};
+
+/// A simulator for an ad-hoc machine description.
+fn sim<'p>(p: &'p bsched_ir::Program, config: SimConfig) -> Simulator<'p> {
+    Simulator::for_machine(p, &bsched_sim::MachineSpec::custom(config))
+}
 use bsched_util::Prng;
 use bsched_workloads::lang::ast::{Expr, Index};
 use bsched_workloads::lang::{ArrayInit, Kernel};
@@ -138,14 +143,14 @@ fn sampled_runs_report_exact_functional_results() {
         let n = rng.range_i64(4, 120);
         let seed = rng.range_u64(0, 1000);
         let p = stream(n, seed);
-        let exact = Simulator::with_config(&p, SimConfig::default()).run().unwrap();
+        let exact = sim(&p, SimConfig::default()).run().unwrap();
         let sample = SampleConfig {
             interval: [64, 256, 1024][rng.index(3)],
             k: [1, 2, 4, 8][rng.index(4)],
             reps: [1, 2, 4][rng.index(3)],
             seed: rng.next_u64(),
         };
-        let sampled = Simulator::with_config(&p, SimConfig::default())
+        let sampled = sim(&p, SimConfig::default())
             .with_mode(SimMode::Sampled(sample))
             .run()
             .unwrap();
@@ -166,7 +171,7 @@ fn sampled_runs_are_deterministic() {
     let sample = SampleConfig::default();
     let cfg = SimConfig::default();
     let run = |_: u32| {
-        Simulator::with_config(&p, cfg)
+        sim(&p, cfg)
             .with_mode(SimMode::Sampled(sample))
             .run()
             .unwrap()

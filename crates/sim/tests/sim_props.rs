@@ -5,6 +5,11 @@
 
 use bsched_ir::{Interp, Program};
 use bsched_sim::{SimConfig, Simulator};
+
+/// A simulator for an ad-hoc machine description.
+fn sim<'p>(p: &'p bsched_ir::Program, config: SimConfig) -> Simulator<'p> {
+    Simulator::for_machine(p, &bsched_sim::MachineSpec::custom(config))
+}
 use bsched_util::Prng;
 use bsched_workloads::lang::ast::{Expr, Index};
 use bsched_workloads::lang::{ArrayInit, Kernel};
@@ -34,10 +39,10 @@ fn timing_configs_never_change_functional_results() {
         let p = stream(n, seed);
         let reference = Interp::new(&p).run().unwrap().checksum;
         let cfg = SimConfig::default()
-            .with_issue_width(width)
+            .with_issue(width, (width / 2).max(1))
             .with_mshrs(mshrs)
             .with_ifetch(ifetch);
-        let sim = Simulator::with_config(&p, cfg).run().unwrap();
+        let sim = sim(&p, cfg).run().unwrap();
         assert_eq!(sim.checksum, reference, "case {case} (n {n}, seed {seed})");
         assert!(
             sim.metrics.cycles >= sim.metrics.insts.total() / u64::from(width).max(1),
@@ -54,8 +59,8 @@ fn wider_issue_never_slows_down() {
         let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
-        let w1 = Simulator::with_config(&p, base).run().unwrap().metrics.cycles;
-        let w4 = Simulator::with_config(&p, base.with_issue_width(4))
+        let w1 = sim(&p, base).run().unwrap().metrics.cycles;
+        let w4 = sim(&p, base.with_issue(4, 2))
             .run()
             .unwrap()
             .metrics
@@ -72,12 +77,12 @@ fn more_mshrs_never_slow_down() {
         let seed = rng.range_u64(0, 100);
         let p = stream(n, seed);
         let base = SimConfig::default().with_ifetch(false);
-        let m1 = Simulator::with_config(&p, base.with_mshrs(1))
+        let m1 = sim(&p, base.with_mshrs(1))
             .run()
             .unwrap()
             .metrics
             .cycles;
-        let m6 = Simulator::with_config(&p, base.with_mshrs(6))
+        let m6 = sim(&p, base.with_mshrs(6))
             .run()
             .unwrap()
             .metrics
@@ -94,7 +99,7 @@ fn cycle_accounting_is_complete() {
         let seed = rng.range_u64(0, 100);
         // Interlocks + penalties never exceed total cycles.
         let p = stream(n, seed);
-        let m = Simulator::with_config(&p, SimConfig::default())
+        let m = sim(&p, SimConfig::default())
             .run()
             .unwrap()
             .metrics;

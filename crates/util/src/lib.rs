@@ -10,7 +10,9 @@
 //! * [`json`] — a minimal JSON reader/writer (objects, arrays, strings,
 //!   integers, floats, bools, null) for the on-disk result cache,
 //! * [`frame`] — length-prefixed JSON framing for the `bsched-serve`
-//!   wire protocol.
+//!   wire protocol,
+//! * [`spec`] — the shared key=value spec grammar behind `--sample=`,
+//!   `--engine=`, and `--machine=` (one parse/error/exit-2 contract).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@ pub mod fnv;
 pub mod frame;
 pub mod json;
 pub mod rng;
+pub mod spec;
 
 pub use fnv::Fnv1a;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};

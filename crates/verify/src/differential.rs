@@ -25,7 +25,7 @@
 
 use bsched_core::{compute_weights, compute_weights_reference, ScheduleAudit};
 use bsched_ir::{Dag, ExecError, Interp, Program};
-use bsched_sim::{SampleConfig, SimConfig, SimEngine, SimMetrics, SimMode, SimResult, Simulator};
+use bsched_sim::{MachineSpec, SampleConfig, SimConfig, SimEngine, SimMetrics, SimMode, SimResult, Simulator};
 use std::fmt;
 
 /// Per-cell tolerance on the sampled CPI (cycles) estimate, as a
@@ -225,8 +225,9 @@ pub fn check_engines(
     compiled: &Program,
     config: SimConfig,
 ) -> Result<Vec<DiffViolation>, ExecError> {
+    let machine = MachineSpec::custom(config);
     let run = |engine| {
-        Simulator::with_config(compiled, config)
+        Simulator::for_machine(compiled, &machine)
             .with_engine(engine)
             .run()
     };
@@ -280,8 +281,9 @@ pub fn check_sampling(
     config: SimConfig,
     sample: SampleConfig,
 ) -> Result<Vec<DiffViolation>, ExecError> {
+    let machine = MachineSpec::custom(config);
     let run = |mode| {
-        Simulator::with_config(compiled, config)
+        Simulator::for_machine(compiled, &machine)
             .with_engine(SimEngine::BlockCompiled)
             .with_mode(mode)
             .run()
@@ -453,7 +455,7 @@ mod tests {
     fn out_of_tolerance_estimates_are_reported() {
         let session = Experiment::builder().kernel("TRFD").build().unwrap();
         let compiled = session.compile().unwrap();
-        let exact = Simulator::with_config(&compiled.program, session.options().sim)
+        let exact = Simulator::for_machine(&compiled.program, &MachineSpec::custom(session.options().sim))
             .run()
             .unwrap();
         // A fabricated estimate 10 % high on cycles and bit-wrong on the

@@ -20,7 +20,9 @@ use crate::differential::{check_checksum_with_fuel, check_engines, check_weights
 use crate::legality::validate_region_schedule;
 use crate::metamorphic::check_metrics;
 use bsched_core::SchedulerKind;
-use bsched_pipeline::{Experiment, ExperimentBuilder, OptLevel, SampleConfig, SimEngine, SimMode};
+use bsched_pipeline::{
+    Experiment, ExperimentBuilder, MachineSpec, OptLevel, SampleConfig, SimEngine, SimMode,
+};
 use bsched_util::Prng;
 use bsched_workloads::lang::{print_kernel, ArrId, ArrayInit, CmpOp, Expr, Index, Kernel, Stmt, VarId};
 use std::time::{Duration, Instant};
@@ -114,6 +116,10 @@ struct Case {
     /// is deliberately in the pool: it must reproduce the balanced
     /// schedule exactly, so any failure it triggers is a reporting bug.
     exact: Option<u64>,
+    /// The machine the cell simulates, drawn uniformly from the
+    /// registered zoo so every predictor, prefetcher, MSHR policy and
+    /// issue width sees fuzz traffic.
+    machine: MachineSpec,
 }
 
 impl Case {
@@ -312,6 +318,14 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
     } else {
         None
     };
+    // The machine axis is drawn last (after `exact`) for the same seed-
+    // stability reason: adding the zoo left every earlier draw — and
+    // hence every kernel and grid point a given seed generates —
+    // unchanged. Uniform over the registry, so the default alpha21164
+    // and every zoo machine all see traffic.
+    let registry = MachineSpec::registry();
+    let machine = MachineSpec::named(registry[rng.index(registry.len())].name)
+        .expect("registry names parse");
     Case {
         decls,
         pinned,
@@ -321,6 +335,7 @@ fn gen_case(rng: &mut Prng, iteration: u64) -> Case {
         engine,
         sample,
         exact,
+        machine,
     }
 }
 
@@ -344,6 +359,7 @@ fn check_kernel(
     engine: SimEngine,
     sample: Option<SampleConfig>,
     exact: Option<u64>,
+    machine: &MachineSpec,
 ) -> Vec<String> {
     let mut messages = Vec::new();
     let session = match exact_arm(
@@ -351,7 +367,8 @@ fn check_kernel(
             .program(kernel.name(), kernel.lower())
             .opts(level)
             .scheduler(scheduler)
-            .engine(engine),
+            .engine(engine)
+            .machine(machine.clone()),
         exact,
     )
     .build()
@@ -410,6 +427,7 @@ fn check_kernel(
                 .opts(level)
                 .scheduler(scheduler)
                 .engine(engine)
+                .machine(machine.clone())
                 .sim_mode(SimMode::Sampled(sample)),
             exact,
         )
@@ -536,11 +554,12 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
             case.engine,
             case.sample,
             case.exact,
+            &case.machine,
         );
         if !messages.is_empty() {
             // Shrinking replays the checks under the case's own engine,
-            // sampling config, and exact-scheduler axis, so an axis-
-            // specific failure stays reproducible while it shrinks.
+            // sampling config, exact-scheduler axis, and machine, so an
+            // axis-specific failure stays reproducible while it shrinks.
             let minimal = shrink_stmts(case.stmts.clone(), &mut |stmts| {
                 !check_kernel(
                     &case.kernel_with(stmts),
@@ -549,6 +568,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                     case.engine,
                     case.sample,
                     case.exact,
+                    &case.machine,
                 )
                 .is_empty()
             });
@@ -560,13 +580,15 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 case.engine,
                 case.sample,
                 case.exact,
+                &case.machine,
             );
             let session = exact_arm(
                 Experiment::builder()
                     .program(kernel.name(), kernel.lower())
                     .opts(case.level)
                     .scheduler(case.scheduler)
-                    .engine(case.engine),
+                    .engine(case.engine)
+                    .machine(case.machine.clone()),
                 case.exact,
             )
             .build()
@@ -576,7 +598,8 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                 label: session.label(),
                 messages,
                 reproducer: format!(
-                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine{}{}\n{}",
+                    "// seed {:#x} iteration {iteration}: {:?} x {:?} x {} engine{}{} \
+                     x machine {}\n{}",
                     config.seed,
                     case.level,
                     case.scheduler,
@@ -589,6 +612,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
                         Some(b) => format!(" x exact budget {b}"),
                         None => String::new(),
                     },
+                    case.machine.spec(),
                     print_kernel(&kernel)
                 ),
             });
@@ -612,8 +636,23 @@ mod tests {
         assert_eq!(k1.engine, k2.engine);
         assert_eq!(k1.sample, k2.sample);
         assert_eq!(k1.exact, k2.exact);
+        assert_eq!(k1.machine, k2.machine);
         let k3 = gen_case(&mut Prng::new(43), 7);
         assert_ne!(print_kernel(&k1.kernel()), print_kernel(&k3.kernel()));
+    }
+
+    #[test]
+    fn machine_axis_covers_the_zoo() {
+        let mut rng = Prng::new(0xB5ED_2026);
+        let mut names = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let mut fork = rng.fork();
+            names.insert(gen_case(&mut fork, i).machine.spec().to_string());
+        }
+        assert!(
+            names.len() >= 3,
+            "32 draws should cover several zoo machines: {names:?}"
+        );
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum MetaViolation {
         /// Instruction-side memory operations (loads + stores + spills).
         instructions: u64,
     },
+    /// More prefetched lines were counted useful than were ever issued.
+    PrefetchAccountingBroken {
+        /// Prefetches issued by the L1D prefetcher.
+        prefetches: u64,
+        /// Prefetched lines later hit by a demand access.
+        useful: u64,
+    },
     /// Under all-hit memory, balanced and traditional cycles diverged
     /// beyond tie-break noise.
     AllHitDivergence {
@@ -76,6 +83,11 @@ impl fmt::Display for MetaViolation {
                 f,
                 "cache stats not conserved: {hierarchy} hierarchy accesses vs \
                  {instructions} executed memory instructions"
+            ),
+            MetaViolation::PrefetchAccountingBroken { prefetches, useful } => write!(
+                f,
+                "prefetch accounting broken: {useful} useful prefetches out of only \
+                 {prefetches} issued"
             ),
             MetaViolation::AllHitDivergence {
                 balanced,
@@ -130,6 +142,15 @@ pub fn check_metrics(m: &SimMetrics) -> Vec<MetaViolation> {
         violations.push(MetaViolation::MemoryAccessesNotConserved {
             hierarchy,
             instructions,
+        });
+    }
+    // Prefetches ride outside the demand stream (they are deliberately
+    // not part of `total_reads`), but a line can only turn useful after
+    // being issued.
+    if m.mem.prefetch_useful > m.mem.prefetches {
+        violations.push(MetaViolation::PrefetchAccountingBroken {
+            prefetches: m.mem.prefetches,
+            useful: m.mem.prefetch_useful,
         });
     }
     violations
@@ -250,6 +271,19 @@ mod tests {
     }
 
     #[test]
+    fn broken_prefetch_accounting_is_caught() {
+        let mut m = plausible_metrics();
+        m.mem.l1d_hits = 30;
+        m.mem.stores = 20;
+        m.mem.prefetches = 2;
+        m.mem.prefetch_useful = 5; // more useful than issued
+        let v = check_metrics(&m);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, MetaViolation::PrefetchAccountingBroken { .. })));
+    }
+
+    #[test]
     fn real_simulated_runs_satisfy_the_invariants() {
         let session = Experiment::builder()
             .kernel("TRFD")
@@ -257,5 +291,29 @@ mod tests {
             .unwrap();
         let run = session.run().unwrap();
         assert_eq!(check_metrics(&run.metrics), vec![]);
+    }
+
+    /// The invariants are per-machine properties: every description in
+    /// the registry — across predictors, prefetchers, MSHR policies and
+    /// issue widths — must satisfy cycle accounting, memory
+    /// conservation, and prefetch accounting on a real kernel run.
+    #[test]
+    fn every_registered_machine_satisfies_the_invariants() {
+        for info in bsched_sim::MachineSpec::registry() {
+            let machine = bsched_sim::MachineSpec::named(info.name).unwrap();
+            let session = Experiment::builder()
+                .kernel("TRFD")
+                .machine(machine)
+                .build()
+                .unwrap();
+            let run = session.run().unwrap();
+            assert!(run.checksum_ok, "{}: simulator diverged", info.name);
+            assert_eq!(
+                check_metrics(&run.metrics),
+                vec![],
+                "machine {} violates the per-cell invariants",
+                info.name
+            );
+        }
     }
 }

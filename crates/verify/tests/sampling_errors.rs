@@ -9,7 +9,7 @@
 //! estimator regression fails in CI before anyone runs a bench.
 
 use bsched_pipeline::{standard_grid, Experiment, SampleConfig, SimMode};
-use bsched_sim::{SimEngine, Simulator};
+use bsched_sim::{MachineSpec, SimEngine, Simulator};
 use bsched_verify::{
     check_sampling, sampling_rel_err, sampling_violations, SAMPLING_CPI_MEAN_TOL, SAMPLING_CPI_TOL,
 };
@@ -39,7 +39,7 @@ fn sweep() -> Vec<(String, bsched_sim::SimResult, bsched_sim::SimResult)> {
             let compiled = session.compile().expect("standard grid compiles").program;
             let sim = session.options().sim;
             let run = |mode| {
-                Simulator::with_config(&compiled, sim)
+                Simulator::for_machine(&compiled, &MachineSpec::custom(sim))
                     .with_engine(SimEngine::BlockCompiled)
                     .with_mode(mode)
                     .run()
@@ -120,7 +120,7 @@ fn check_sampling_is_clean_across_the_sweep_and_reports_divergence() {
     // …and a fabricated off-estimate is reported with the metric, both
     // values, and the tolerance, so the failing cell is identifiable
     // from the message alone.
-    let mut exact = Simulator::with_config(&compiled, session.options().sim)
+    let mut exact = Simulator::for_machine(&compiled, &MachineSpec::custom(session.options().sim))
         .with_engine(SimEngine::BlockCompiled)
         .run()
         .expect("simulates");

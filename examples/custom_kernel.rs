@@ -14,7 +14,7 @@ use balanced_scheduling::opt::{
     analyze_locality, local_cse, unroll_loop, EdgeProfile, UnrollLimits,
 };
 use balanced_scheduling::regalloc::allocate;
-use balanced_scheduling::sim::{SimConfig, Simulator};
+use balanced_scheduling::sim::{MachineSpec, Simulator};
 use balanced_scheduling::workloads::lang::ast::{Expr, Index};
 use balanced_scheduling::workloads::lang::{ArrayInit, Kernel};
 
@@ -84,7 +84,7 @@ fn main() {
         "register allocation: {} assigned, {} spilled",
         alloc.assigned, alloc.spilled
     );
-    let sim = Simulator::with_config(&program, SimConfig::default())
+    let sim = Simulator::for_machine(&program, &MachineSpec::alpha21164())
         .run()
         .expect("simulates");
     assert_eq!(sim.checksum, reference.checksum, "same observable memory");

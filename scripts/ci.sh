@@ -117,6 +117,40 @@ echo "== smoke: exact scheduler arm vs recorded BENCH_pr9.json baseline =="
     --check "$PWD/BENCH_pr9.json" --check-ratio 0.9 >/dev/null \
     || { echo "FAIL: exact-arm optimality check"; exit 1; }
 
+echo "== smoke: machine zoo (2 kernels x 3 machines, verified, dual-engine) =="
+# The machine-description axis end to end: the balanced-vs-traditional
+# gap table on a 2-kernel subset across three machines (the default
+# alpha21164, the 4-wide superscalar, and the blocking-cache control
+# that inverts the paper's result), every cell verified, under each
+# simulation engine with the cache disabled so both engines genuinely
+# execute every cell. Machine descriptions are engine-invariant, so
+# stdout must be byte-identical across engines, with zero violations.
+MACH_OUT=""
+for eng in interpret block; do
+    MACH_ERR="$SMOKE_CACHE/machines.$eng.err"
+    mach="$(BSCHED_NO_CACHE=1 BSCHED_SIM_ENGINE="$eng" \
+        ./target/release/machines --verify --kernels ARC2D,TRFD \
+            --machines alpha21164,wide4,blocking21164 2>"$MACH_ERR")" \
+        || { cat "$MACH_ERR"; echo "FAIL: machines $eng run"; exit 1; }
+    grep -q "verification: .* 0 violations" "$MACH_ERR" \
+        || { cat "$MACH_ERR"; echo "FAIL: machines $eng violations"; exit 1; }
+    grep -q "engine: $eng" "$MACH_ERR" \
+        || { cat "$MACH_ERR"; echo "FAIL: machines report must name engine $eng"; exit 1; }
+    if [ -z "$MACH_OUT" ]; then
+        MACH_OUT="$mach"
+    else
+        [ "$mach" = "$MACH_OUT" ] \
+            || { echo "FAIL: machine zoo differs between engines"; exit 1; }
+    fi
+done
+
+echo "== gate: machine zoo vs recorded BENCH_pr10.json baseline =="
+# The full-zoo gap table against the committed baseline. Cycle counts
+# are deterministic (never wall clock), so the gate is exact equality —
+# any drift in any machine's total is a modeling regression, not noise.
+./target/release/machines --check "$PWD/BENCH_pr10.json" >/dev/null \
+    || { echo "FAIL: machines baseline check"; exit 1; }
+
 echo "== smoke: sampling microbench vs recorded BENCH_pr8.json baseline =="
 # Re-measures the per-kernel exact-vs-sampled cells (accuracy bounds
 # asserted inside the bench) and fails if any case's speedup ratio fell

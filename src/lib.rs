@@ -24,13 +24,13 @@
 //! re-exported at the crate root:
 //!
 //! ```
-//! use balanced_scheduling::{Experiment, OptLevel, SchedulerKind, SimConfig};
+//! use balanced_scheduling::{Experiment, MachineSpec, OptLevel, SchedulerKind};
 //!
 //! let run = Experiment::builder()
 //!     .kernel("TRFD")
 //!     .opts(OptLevel::Unroll8Trace)
 //!     .scheduler(SchedulerKind::Balanced)
-//!     .sim(SimConfig::alpha21164())
+//!     .machine(MachineSpec::alpha21164())
 //!     .build()
 //!     .unwrap()
 //!     .run()
@@ -57,4 +57,4 @@ pub use bsched_pipeline::{
     resolve_kernel, CompileOptions, ConfigKind, Experiment, ExperimentBuilder, ExperimentError,
     OptLevel, RunResult, SchedulerKind, Session, TieBreak,
 };
-pub use bsched_sim::SimConfig;
+pub use bsched_sim::{MachineSpec, SimConfig};
